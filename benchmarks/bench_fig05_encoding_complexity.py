@@ -1,0 +1,41 @@
+"""Fig. 5 -- normalized encoding complexity, p varying with k.
+
+Paper series: EVENODD and the original Liberation sit above the bound
+(~1 + 1/2(k-1) and 1 + 1/2p respectively), RDP touches 1.0 at its
+sweet spots, and the proposed algorithm is exactly 1.0 for every k.
+"""
+
+import pytest
+
+from repro.bench.complexity import encoding_complexity_series
+from repro.core.encoder import encode_schedule
+
+from conftest import emit
+
+K_VALUES = list(range(2, 23))
+
+
+@pytest.fixture(scope="module")
+def series():
+    return encoding_complexity_series(K_VALUES)
+
+
+def test_fig05_series(benchmark, series):
+    benchmark(encoding_complexity_series, [4, 8])
+    emit(
+        "fig05_encoding_complexity",
+        series,
+        "Fig. 5: normalized encoding complexity (p varying with k)",
+    )
+    for row in series:
+        assert row["liberation-optimal"] == pytest.approx(1.0)
+        assert row["liberation-original"] > 1.0
+
+
+@pytest.mark.parametrize("k", [4, 10, 16, 22])
+def test_optimal_schedule_build(benchmark, k):
+    """Algorithm 1 planning cost across the figure's x-axis."""
+    from repro.utils.primes import prime_for_k
+
+    p = prime_for_k(k)
+    benchmark(encode_schedule, p, k)

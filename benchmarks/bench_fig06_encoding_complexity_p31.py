@@ -1,0 +1,34 @@
+"""Fig. 6 -- normalized encoding complexity at fixed p = 31.
+
+Paper series: EVENODD/RDP degrade substantially as k shrinks away from
+p; both Liberation curves stay flat (the scalability argument), with
+the optimal one exactly at the bound.
+"""
+
+import pytest
+
+from repro.bench.complexity import encoding_complexity_series
+
+from conftest import emit
+
+K_VALUES = list(range(2, 24))
+
+
+@pytest.fixture(scope="module")
+def series():
+    return encoding_complexity_series(K_VALUES, p=31)
+
+
+def test_fig06_series(benchmark, series):
+    benchmark(encoding_complexity_series, [4, 8], p=31)
+    emit(
+        "fig06_encoding_complexity_p31",
+        series,
+        "Fig. 6: normalized encoding complexity (p = 31)",
+    )
+    small_k, large_k = series[2], series[-1]
+    assert small_k["evenodd"] > large_k["evenodd"]  # degradation
+    assert small_k["rdp"] > large_k["rdp"]
+    libs = [r["liberation-original"] for r in series]
+    assert max(libs) - min(libs) < 1e-6  # flat
+    assert all(r["liberation-optimal"] == pytest.approx(1.0) for r in series)

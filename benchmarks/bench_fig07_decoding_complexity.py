@@ -1,0 +1,46 @@
+"""Fig. 7 -- normalized decoding complexity, p varying with k.
+
+Averaged over two-data-column erasure patterns (exhaustive up to 66
+pairs, evenly-strided subsample beyond, as noted in EXPERIMENTS.md).
+Paper series: the proposed decoder sits within ~3% of the bound while
+the original bit-matrix-scheduled decoder runs 15-20% higher.
+"""
+
+import pytest
+
+from repro.bench.complexity import decoding_complexity_series
+from repro.core.decoder import decode_schedule
+
+from conftest import emit
+
+K_VALUES = list(range(2, 23, 2))
+MAX_PAIRS = 66
+
+
+@pytest.fixture(scope="module")
+def series():
+    return decoding_complexity_series(K_VALUES, max_pairs=MAX_PAIRS)
+
+
+def test_fig07_series(benchmark, series):
+    benchmark(decoding_complexity_series, [6], max_pairs=6)
+    emit(
+        "fig07_decoding_complexity",
+        series,
+        "Fig. 7: normalized decoding complexity (p varying with k)",
+    )
+    for row in series:
+        if row["k"] < 4:
+            continue
+        assert row["liberation-optimal"] < 1.05
+        reduction = 1 - row["liberation-optimal"] / row["liberation-original"]
+        assert 0.10 < reduction < 0.25, row
+
+
+@pytest.mark.parametrize("k", [6, 12, 22])
+def test_decode_plan_construction(benchmark, k):
+    """Algorithms 2-4 planning cost (matrix-free, unlike the original)."""
+    from repro.utils.primes import prime_for_k
+
+    p = prime_for_k(k)
+    benchmark(decode_schedule, p, k, (1, k - 1))

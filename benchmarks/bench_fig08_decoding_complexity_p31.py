@@ -1,0 +1,39 @@
+"""Fig. 8 -- normalized decoding complexity at fixed p = 31.
+
+Paper series: EVENODD/RDP decoding degrades dramatically as k shrinks;
+original Liberation runs 10-15% over the bound; the proposed decoder
+stays within 0-2.5% (for all but the smallest k).
+"""
+
+import pytest
+
+from repro.bench.complexity import decoding_complexity_series
+
+from conftest import emit
+
+K_VALUES = list(range(2, 24, 3))
+MAX_PAIRS = 40
+
+
+@pytest.fixture(scope="module")
+def series():
+    return decoding_complexity_series(K_VALUES, p=31, max_pairs=MAX_PAIRS)
+
+
+def test_fig08_series(benchmark, series):
+    benchmark(decoding_complexity_series, [5], p=31, max_pairs=4)
+    emit(
+        "fig08_decoding_complexity_p31",
+        series,
+        "Fig. 8: normalized decoding complexity (p = 31)",
+    )
+    for row in series:
+        k = row["k"]
+        if k >= 8:
+            assert row["liberation-optimal"] < 1.045, row
+        if 4 <= k <= 23:
+            assert 1.10 < row["liberation-original"] < 1.30, row
+    # EVENODD/RDP blow up at small k relative to large k.
+    first = next(r for r in series if r["k"] >= 5)
+    last = series[-1]
+    assert first["evenodd"] > last["evenodd"]

@@ -1,0 +1,43 @@
+"""Fig. 9 -- encoding throughput vs element size (p = 5, 7, 11, k = p).
+
+Sweeps element sizes 4KB..64KB and times both Liberation encoders on
+the streaming (Jerasure-model) executor.  The paper picks 8KB/4KB as
+the operating points for Figs. 10-13 from this sweep.
+"""
+
+import pytest
+
+from repro.bench.throughput import element_size_series, make_bench_code
+
+from conftest import emit, filled_stripe
+
+P_VALUES = (5, 7, 11)
+LOG2_SIZES = (12, 13, 14, 15, 16)
+
+
+@pytest.fixture(scope="module")
+def series():
+    return element_size_series(
+        p_values=P_VALUES, log2_sizes=LOG2_SIZES, inner=5, repeats=3
+    )
+
+
+def test_fig09_series(benchmark, series):
+    benchmark(lambda: None)  # series measured by the harness itself
+    for p in P_VALUES:
+        emit(
+            f"fig09_elemsize_p{p}",
+            series[p],
+            f"Fig. 9({'abc'[P_VALUES.index(p)]}): encode GB/s vs element size, p={p}",
+        )
+        for row in series[p]:
+            assert row["liberation-optimal"] > 0
+            assert row["liberation-original"] > 0
+
+
+@pytest.mark.parametrize("name", ["liberation-original", "liberation-optimal"])
+@pytest.mark.parametrize("log2_elem", [12, 14, 16])
+def test_encode_kernel(benchmark, filled_stripe, name, log2_elem):
+    code = make_bench_code(name, 7, 7, 2**log2_elem)
+    buf = filled_stripe(code)
+    benchmark(code.encode, buf)

@@ -1,0 +1,37 @@
+"""Fig. 11 -- encoding throughput at fixed p = 31 (4KB and 8KB)."""
+
+import pytest
+
+from repro.bench.throughput import encode_throughput_series, make_bench_code
+
+from conftest import emit, filled_stripe
+
+K_VALUES = [4, 8, 12, 16, 20, 23]
+
+
+@pytest.fixture(scope="module", params=[4096, 8192], ids=["4KB", "8KB"])
+def series(request):
+    rows = encode_throughput_series(
+        K_VALUES, p=31, element_size=request.param, inner=8, repeats=5
+    )
+    return request.param, rows
+
+
+def test_fig11_series(benchmark, series):
+    elem, rows = series
+    benchmark(lambda: None)
+    emit(
+        f"fig11_encode_throughput_p31_{elem // 1024}KB",
+        rows,
+        f"Fig. 11: encode GB/s, p = 31 (element {elem // 1024}KB)",
+    )
+    opt = sum(r["liberation-optimal"] for r in rows)
+    orig = sum(r["liberation-original"] for r in rows)
+    assert opt > 0.95 * orig, (opt, orig)  # see fig10 noise note
+
+
+@pytest.mark.parametrize("name", ["liberation-original", "liberation-optimal"])
+def test_encode_kernel_k23(benchmark, filled_stripe, name):
+    code = make_bench_code(name, 23, 31, 4096)
+    buf = filled_stripe(code)
+    benchmark(code.encode, buf)

@@ -1,0 +1,44 @@
+"""Fig. 12 -- decoding throughput, p varying with k (4KB and 8KB).
+
+Paper shape: the proposed decoder's advantage grows with k, reaching
+~2x (8KB) / ~2.5x (4KB) in the paper.  In this reproduction the gap is
+larger still because the original's per-decode matrix inversion and
+scheduling run in Python (see EXPERIMENTS.md) -- the mechanism is the
+same one the paper identifies.
+"""
+
+import pytest
+
+from repro.bench.throughput import decode_throughput_series, make_bench_code
+
+from conftest import emit, filled_stripe
+
+K_VALUES = [5, 11, 17, 23]
+
+
+@pytest.fixture(scope="module", params=[4096, 8192], ids=["4KB", "8KB"])
+def series(request):
+    rows = decode_throughput_series(
+        K_VALUES, element_size=request.param, max_pairs=4, inner=2, repeats=2
+    )
+    return request.param, rows
+
+
+def test_fig12_series(benchmark, series):
+    elem, rows = series
+    benchmark(lambda: None)
+    emit(
+        f"fig12_decode_throughput_{elem // 1024}KB",
+        rows,
+        f"Fig. 12: decode GB/s, p varying with k (element {elem // 1024}KB)",
+    )
+    for row in rows:
+        assert row["liberation-optimal"] > row["liberation-original"], row
+
+
+@pytest.mark.parametrize("name", ["liberation-original", "liberation-optimal"])
+@pytest.mark.parametrize("k", [5, 17])
+def test_decode_kernel(benchmark, filled_stripe, name, k):
+    code = make_bench_code(name, k, None, 4096)
+    buf = filled_stripe(code)
+    benchmark(code.decode, buf, (0, k // 2))

@@ -1,0 +1,61 @@
+"""Extension study: decode cost vs erasure positions.
+
+The paper states the proposed decoder is "either optimal or near
+optimal, depending on the positions of the failed disks" without
+mapping which positions are which.  This study does: adjacent-column
+pairs decode at exactly the ``k-1`` bound (their chain consumes every
+unknown common expression for free), while widely separated pairs --
+especially those involving column 0, which hosts no extra bit -- pay
+the most syndrome-set overhead.
+"""
+
+import pytest
+
+from repro.bench.complexity import decoding_pair_profile
+
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return [
+        decoding_pair_profile("liberation-optimal", k, p)
+        for k, p in [(7, 7), (11, 11), (16, 17), (23, 31)]
+    ]
+
+
+def test_pair_position_study(benchmark, profiles):
+    benchmark(decoding_pair_profile, "liberation-optimal", 5, 5)
+    rows = [
+        {
+            "k": pr["k"],
+            "min": pr["min"],
+            "mean": pr["mean"],
+            "max": pr["max"],
+            "optimal_share": pr["optimal_share"],
+            "worst_pair": str(pr["worst_pair"]),
+        }
+        for pr in profiles
+    ]
+    emit(
+        "pair_position_study",
+        rows,
+        "Extension: Liberation(optimal) decode cost by erasure positions",
+    )
+    for pr in profiles:
+        # Some pairs are exactly optimal...
+        assert pr["min"] == pytest.approx(1.0)
+        assert pr["optimal_share"] > 0
+        # ... and the worst pair's excess stays under one extra XOR
+        # per missing element (~1/(k-1) normalized).
+        assert pr["max"] < 1 + 1.0 / (pr["k"] - 1)
+        # Adjacent pairs are always optimal.
+        per = pr["per_pair"]
+        for l in range(1, pr["k"] - 1):
+            assert per[(l, l + 1)] == pytest.approx(1.0), (pr["k"], l)
+
+
+def test_worst_pairs_involve_column_zero(benchmark, profiles):
+    benchmark(lambda: None)
+    for pr in profiles:
+        assert 0 in pr["worst_pair"], pr["worst_pair"]

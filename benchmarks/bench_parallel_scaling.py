@@ -1,0 +1,70 @@
+"""Extension: batch-coding thread scaling.
+
+Encodes a batch of stripes with 1..N worker threads.  NumPy's XOR
+kernels drop the GIL on the element buffers, so the outer
+stripe-parallel loop scales on multi-core machines; the emitted series
+records what this host actually delivers.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.codes import make_code
+from repro.parallel import BatchCoder, alloc_batch
+
+from conftest import emit
+
+N_STRIPES = 64
+WORKERS = [1, 2, 4]
+
+
+@pytest.fixture(scope="module")
+def series():
+    code = make_code("liberation-optimal", 10, p=11, element_size=8192)
+    rng = np.random.default_rng(0)
+    batch = alloc_batch(code, N_STRIPES)
+    batch[:, : code.k] = rng.integers(
+        0, 2**64, batch[:, : code.k].shape, dtype=np.uint64
+    )
+    BatchCoder(code).encode(batch)  # warm plans
+    rows = []
+    data_bytes = code.data_bytes * N_STRIPES
+    for w in WORKERS:
+        coder = BatchCoder(code, workers=w)
+        best = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            coder.encode(batch)
+            best = min(best, time.perf_counter() - t0)
+        rows.append({"workers": w, "GB/s": data_bytes / best / 1e9})
+    return rows
+
+
+def test_parallel_scaling_series(benchmark, series):
+    benchmark(lambda: None)
+    emit(
+        "parallel_scaling",
+        series,
+        f"Extension: batch encode GB/s vs worker threads "
+        f"({N_STRIPES} stripes, k=10, p=11, 8KB; host has "
+        f"{os.cpu_count()} CPUs)",
+    )
+    base = series[0]["GB/s"]
+    # Threads must never make it catastrophically slower; genuine
+    # speedup depends on the host's core count and load.
+    for row in series:
+        assert row["GB/s"] > 0.5 * base
+
+
+@pytest.mark.parametrize("workers", WORKERS)
+def test_batch_encode_kernel(benchmark, workers):
+    code = make_code("liberation-optimal", 10, p=11, element_size=8192)
+    rng = np.random.default_rng(1)
+    batch = alloc_batch(code, 16)
+    batch[:, :10] = rng.integers(0, 2**64, batch[:, :10].shape, dtype=np.uint64)
+    coder = BatchCoder(code, workers=workers)
+    coder.encode(batch)
+    benchmark(coder.encode, batch)

@@ -1,0 +1,35 @@
+"""Table I -- characteristics of the representative RAID-6 codes.
+
+Regenerates the table from *measured* schedule costs (k = 10, minimal
+p per code) and benchmarks the planning kernels (schedule construction)
+for each family.
+"""
+
+import pytest
+
+from repro.bench.complexity import table1_rows
+from repro.codes import make_code
+
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def table():
+    return table1_rows(k=10)
+
+
+def test_table1_series(benchmark, table):
+    benchmark(table1_rows, k=4)  # small instance as the timed kernel
+    emit("table1", table, "Table I: measured characteristics (k=10, minimal p)")
+    rows = {r["code"]: r for r in table}
+    assert rows["liberation-optimal"]["encoding"] == pytest.approx(9.0)
+    assert rows["liberation-optimal"]["update"] < rows["rdp"]["update"]
+
+
+@pytest.mark.parametrize(
+    "name", ["liberation-optimal", "liberation-original", "evenodd", "rdp"]
+)
+def test_encode_plan_construction(benchmark, name):
+    """Planning cost per family (the matrix-free property of Alg. 1)."""
+    code = make_code(name, 10)
+    benchmark(code.build_encode_schedule)

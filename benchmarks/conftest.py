@@ -1,0 +1,40 @@
+"""Shared helpers for the figure/table benchmarks.
+
+Every benchmark module both (a) registers pytest-benchmark kernels for
+the operations the paper times and (b) regenerates the corresponding
+table/figure series, printing it and persisting it under ``results/``.
+Series generation happens once per module via session-cached fixtures
+so ``--benchmark-only`` runs stay reasonable.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.bench.report import format_table, save_series
+
+RESULTS_BASE = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def emit(name: str, rows, title: str) -> None:
+    """Print a series in paper-row format and persist it."""
+    text = format_table(rows, title=title)
+    print("\n" + text)
+    save_series(name, rows, title=title, base=RESULTS_BASE)
+
+
+@pytest.fixture
+def filled_stripe():
+    """Factory: a code plus an encoded random stripe."""
+
+    def make(code, seed=0):
+        rng = np.random.default_rng(seed)
+        buf = code.alloc_stripe()
+        buf[: code.k] = rng.integers(0, 2**64, buf[: code.k].shape, dtype=np.uint64)
+        code.encode(buf)
+        return buf
+
+    return make

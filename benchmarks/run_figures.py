@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper in one run.
+
+Standalone alternative to ``pytest benchmarks/ --benchmark-only``:
+
+    python benchmarks/run_figures.py [--quick]
+
+Writes paper-format text series under ``results/`` and prints them.
+``--quick`` shrinks sweeps for a fast smoke run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.bench.complexity import (
+    decoding_complexity_series,
+    encoding_complexity_series,
+    table1_rows,
+)
+from repro.bench.report import format_table, save_series
+from repro.bench.throughput import (
+    decode_throughput_series,
+    element_size_series,
+    encode_throughput_series,
+)
+
+RESULTS = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def emit(name: str, rows, title: str) -> None:
+    print(format_table(rows, title=title))
+    save_series(name, rows, title=title, base=RESULTS)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small sweeps")
+    args = parser.parse_args(argv)
+
+    t0 = time.time()
+    if args.quick:
+        k_enc = [2, 6, 10, 14]
+        k_dec = [4, 8, 12]
+        k_tp = [4, 10, 16]
+        k_dtp = [5, 11]
+        elems = [4096]
+        log2s = (12, 14)
+        pairs = 3
+    else:
+        k_enc = list(range(2, 23))
+        k_dec = list(range(2, 23, 2))
+        k_tp = [4, 7, 10, 13, 16, 19, 22]
+        k_dtp = [5, 11, 17, 23]
+        elems = [4096, 8192]
+        log2s = (12, 13, 14, 15, 16)
+        pairs = 4
+
+    emit("table1", table1_rows(k=10), "Table I: measured characteristics (k=10)")
+
+    emit(
+        "fig05_encoding_complexity",
+        encoding_complexity_series(k_enc),
+        "Fig. 5: normalized encoding complexity (p varying with k)",
+    )
+    emit(
+        "fig06_encoding_complexity_p31",
+        encoding_complexity_series([k for k in k_enc if k <= 23], p=31),
+        "Fig. 6: normalized encoding complexity (p = 31)",
+    )
+    emit(
+        "fig07_decoding_complexity",
+        decoding_complexity_series(k_dec, max_pairs=66),
+        "Fig. 7: normalized decoding complexity (p varying with k)",
+    )
+    emit(
+        "fig08_decoding_complexity_p31",
+        decoding_complexity_series(k_dec, p=31, max_pairs=40),
+        "Fig. 8: normalized decoding complexity (p = 31)",
+    )
+
+    es = element_size_series(log2_sizes=log2s, inner=5, repeats=3)
+    for p, rows in es.items():
+        emit(f"fig09_elemsize_p{p}", rows, f"Fig. 9: encode GB/s vs element size, p={p}")
+
+    for elem in elems:
+        kb = elem // 1024
+        emit(
+            f"fig10_encode_throughput_{kb}KB",
+            encode_throughput_series(k_tp, element_size=elem, inner=8, repeats=3),
+            f"Fig. 10: encode GB/s, p varying with k ({kb}KB)",
+        )
+        emit(
+            f"fig11_encode_throughput_p31_{kb}KB",
+            encode_throughput_series(
+                [k for k in k_tp if k <= 23], p=31, element_size=elem, inner=8, repeats=3
+            ),
+            f"Fig. 11: encode GB/s, p = 31 ({kb}KB)",
+        )
+        emit(
+            f"fig12_decode_throughput_{kb}KB",
+            decode_throughput_series(
+                k_dtp, element_size=elem, max_pairs=pairs, inner=2, repeats=2
+            ),
+            f"Fig. 12: decode GB/s, p varying with k ({kb}KB)",
+        )
+        emit(
+            f"fig13_decode_throughput_p31_{kb}KB",
+            decode_throughput_series(
+                k_dtp, p=31, element_size=elem, max_pairs=pairs, inner=2, repeats=2
+            ),
+            f"Fig. 13: decode GB/s, p = 31 ({kb}KB)",
+        )
+
+    print(f"done in {time.time() - t0:.1f}s; series under {RESULTS}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Compare the RAID-6 code zoo on the paper's three metrics.
+
+For each code family: measured encoding complexity, average two-column
+decoding complexity, and -- via a random small-write workload -- the
+average number of parity elements rewritten per user element (the
+update-complexity metric, which controls small-write amplification and
+SSD wear).
+
+Run:  python examples/compare_codes.py
+"""
+
+import itertools
+
+import numpy as np
+
+from repro import make_code
+from repro.bench.report import format_table
+
+FAMILIES = ["cauchy-rs", "evenodd", "rdp", "liberation-original", "liberation-optimal"]
+K = 8
+
+
+def complexity_row(name: str) -> dict:
+    code = make_code(name, K)
+    pairs = list(itertools.combinations(range(K), 2))
+    dec = sum(code.decoding_xors(pr) for pr in pairs) / len(pairs) / (2 * code.rows)
+    return {
+        "code": name,
+        "w": code.rows,
+        "encode/bit": round(code.encoding_complexity(), 3),
+        "decode/bit": round(dec, 3),
+        "bound": K - 1,
+    }
+
+
+def update_row(name: str, n_writes: int = 500) -> dict:
+    """Average parity elements rewritten per random element write."""
+    code = make_code(name, K, element_size=64)
+    rng = np.random.default_rng(7)
+    buf = code.alloc_stripe()
+    buf[:K] = rng.integers(0, 2**64, buf[:K].shape, dtype=np.uint64)
+    code.encode(buf)
+    total = 0
+    for _ in range(n_writes):
+        col = int(rng.integers(0, K))
+        row = int(rng.integers(0, code.rows))
+        total += code.update(
+            buf, col, row, rng.integers(0, 2**64, buf[col, row].shape, dtype=np.uint64)
+        )
+    assert code.verify(buf)
+    avg = total / n_writes
+    return {
+        "code": name,
+        "parity elements/write": round(avg, 3),
+        "write amplification": round(1 + avg, 2),
+        "floor": 3.0,  # 1 data + 2 parity is the RAID-6 minimum
+    }
+
+
+def main() -> None:
+    print(format_table(
+        [complexity_row(n) for n in FAMILIES],
+        title=f"XOR complexity at k = {K} (minimal p per code)",
+    ))
+    print(format_table(
+        [update_row(n) for n in FAMILIES],
+        title=f"random small writes at k = {K}: parity update cost",
+    ))
+    print(
+        "Liberation attains the 2-parity-update lower bound on all but one\n"
+        "element per column (its extra bits), so its small-write\n"
+        "amplification sits at the RAID-6 floor.  EVENODD pays a full\n"
+        "Q-column rewrite whenever a write lands on the adjuster diagonal,\n"
+        "RDP touches a second diagonal through its P element, and Cauchy\n"
+        "RS fans every data bit into its dense Q bit-matrix."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""The RAID write hole, demonstrated -- and closed with a journal.
+
+Part 1 tears a small write by hand on a plain array (data strip
+written, parity strips not), then fails a disk: reconstruction of an
+*unrelated* strip silently returns garbage.  Part 2 runs the same
+scenario on a :class:`JournaledRAID6Array` with a simulated power loss
+at every possible write position; recovery replays the journal and the
+array is consistent every time.
+
+Run:  python examples/crash_recovery.py
+"""
+
+import numpy as np
+
+from repro.array import (
+    CrashPoint,
+    JournaledRAID6Array,
+    RAID6Array,
+    SimulatedCrash,
+)
+from repro.array.workloads import payload
+from repro.codes import make_code
+
+K, P, ELEM, STRIPES = 4, 5, 512, 8
+
+
+def fresh(cls):
+    code = make_code("liberation-optimal", K, p=P, element_size=ELEM)
+    arr = cls(code, n_stripes=STRIPES)
+    arr.write(0, payload(arr.capacity, seed=1))
+    return arr
+
+
+def main() -> None:
+    # ---- Part 1: the hole -------------------------------------------------
+    arr = fresh(RAID6Array)
+    code = arr.code
+    before = arr.read(0, code.strip_bytes)  # stripe 0, column 0's data
+
+    buf = arr.read_stripe(0)
+    code.update(buf, 1, 2, np.frombuffer(payload(ELEM, seed=7), dtype=np.uint64))
+    arr.write_stripe(0, buf, columns=[1])  # data written ...
+    print("simulated crash: data strip updated, parity strips NOT")
+
+    arr.fail_disk(arr.layout.disk_for(0, 0))  # an unrelated disk dies
+    after = arr.read(0, code.strip_bytes)
+    print(f"reconstructed unrelated column 0: "
+          f"{'CORRUPTED (write hole!)' if after != before else 'intact'}")
+    assert after != before
+
+    # ---- Part 2: the journal ----------------------------------------------
+    print("\njournaled array, crashing at every write position:")
+    survived = 0
+    for crash_after in range(6):
+        arr = fresh(JournaledRAID6Array)
+        arr.arm_crash(CrashPoint(crash_after))
+        try:
+            arr.write(ELEM * 3, payload(ELEM, seed=9))
+        except SimulatedCrash:
+            pass
+        arr.arm_crash(None)
+        replayed = arr.recover()
+        consistent = all(
+            arr.code.verify(arr.read_stripe(s)) for s in range(STRIPES)
+        )
+        assert consistent
+        survived += 1
+        print(f"  crash after {crash_after} strip writes: "
+              f"{replayed} journal record(s) replayed, parity consistent")
+    print(f"\nall {survived} crash positions recovered cleanly")
+
+
+if __name__ == "__main__":
+    main()

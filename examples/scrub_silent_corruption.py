@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Locating and repairing silent data corruption by scrubbing.
+
+Silent corruption gives no I/O error -- the array happily serves wrong
+bytes.  This example corrupts several strips (data *and* parity), shows
+the damage is invisible to normal reads, then runs the scrubber, which
+uses the paper's single-column error-correction procedure to locate the
+corrupted strip in each stripe from the P/Q syndromes alone and repair
+it in place.
+
+Run:  python examples/scrub_silent_corruption.py
+"""
+
+from repro import FaultInjector, RAID6Array, Scrubber, make_code
+from repro.array.workloads import sequential_fill
+
+
+def main() -> None:
+    code = make_code("liberation-optimal", 6, element_size=512)
+    arr = RAID6Array(code, n_stripes=24)
+    data = b""
+    for op in sequential_fill(arr.capacity, arr.layout.stripe_data_bytes, seed=5):
+        arr.write(op.offset, op.data)
+        data += op.data
+
+    injector = FaultInjector(arr, seed=99)
+    hits = injector.corrupt_random_strips(6)
+    print("silently corrupted strips (disk, stripe):", hits)
+
+    served = arr.read(0, arr.capacity)
+    wrong = served != data
+    print(f"normal reads notice nothing; data is "
+          f"{'WRONG' if wrong else 'coincidentally unaffected (parity strips hit)'}")
+
+    report = Scrubber(arr).scrub()
+    print(f"\nscrub: {report.stripes_scanned} scanned, "
+          f"{report.stripes_corrected} corrected, "
+          f"{report.stripes_uncorrectable} uncorrectable")
+    for stripe, column in report.corrected:
+        role = ("P" if column == code.p_col
+                else "Q" if column == code.q_col
+                else f"data[{column}]")
+        print(f"  stripe {stripe}: column {column} ({role}) repaired")
+
+    assert report.healthy
+    assert arr.read(0, arr.capacity) == data
+    print("\nall user data verified bit-perfect after scrub")
+
+    # A second pass confirms the array is clean.
+    again = Scrubber(arr).scrub()
+    assert again.stripes_clean == arr.layout.n_stripes
+    print("second scrub pass: everything clean")
+
+
+if __name__ == "__main__":
+    main()

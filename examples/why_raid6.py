@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Why RAID-6? The paper's §I motivation, quantified.
+
+Sweeps disk capacity (at fixed per-bit unrecoverable-error rate and
+MTBF) and prints the probability that a RAID-5 rebuild hits an
+unrecoverable read error, plus the resulting MTTDL for RAID-5 vs
+RAID-6 -- the compounding effect (growing capacity, flat error rate,
+bounded transfer rate) that made two-failure tolerance mandatory.
+
+Run:  python examples/why_raid6.py
+"""
+
+from repro.analysis import (
+    DiskModel,
+    mttdl_raid5,
+    mttdl_raid6,
+    rebuild_read_failure_probability,
+)
+from repro.bench.report import format_table
+
+N_DISKS = 10  # an 8+2 group
+HOURS_PER_YEAR = 24 * 365
+
+
+def main() -> None:
+    rows = []
+    for tb in (1, 4, 8, 16, 24):
+        disk = DiskModel(
+            mtbf_hours=1.2e6,
+            capacity_bytes=tb * 1e12,
+            ure_per_bit=1e-15,  # nearline SATA spec
+            rebuild_hours=2 * tb,  # transfer-rate bound: ~2h per TB
+        )
+        rows.append(
+            {
+                "disk (TB)": tb,
+                "P(URE during RAID-5 rebuild)": round(
+                    rebuild_read_failure_probability(disk, N_DISKS - 1), 4
+                ),
+                "RAID-5 MTTDL (years)": round(
+                    mttdl_raid5(disk, N_DISKS) / HOURS_PER_YEAR, 1
+                ),
+                "RAID-6 MTTDL (years)": round(
+                    mttdl_raid6(disk, N_DISKS) / HOURS_PER_YEAR
+                ),
+            }
+        )
+    print(format_table(rows, title=f"{N_DISKS}-disk group, 1e-15 UER, 1.2M h MTBF"))
+    print(
+        "As capacity grows the RAID-5 rebuild almost certainly hits an\n"
+        "unrecoverable sector, capping its MTTDL near the time to the\n"
+        "*first* disk failure.  RAID-6 absorbs exactly that event -- the\n"
+        "scenario the paper's introduction calls 'common failure patterns\n"
+        "in modern storage systems'."
+    )
+
+
+if __name__ == "__main__":
+    main()

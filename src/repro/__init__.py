@@ -1,0 +1,84 @@
+"""repro -- Optimal encoding/decoding for RAID-6 Liberation codes.
+
+A from-scratch Python reproduction of
+
+    Huang, Jiang, Shen, Che, Xiao, Li:
+    "Optimal Encoding and Decoding Algorithms for the RAID-6
+    Liberation Codes", IPDPS 2020.
+
+Quick start::
+
+    from repro import LiberationOptimal
+
+    code = LiberationOptimal(k=6)          # 6 data disks + P + Q
+    stripe = code.alloc_stripe()
+    stripe[:6] = ...                        # your data, uint64 words
+    code.encode(stripe)                     # fills P and Q
+    stripe[1] = 0; stripe[4] = 0            # lose two disks
+    code.decode(stripe, erasures=[1, 4])    # bit-perfect recovery
+
+Packages:
+
+* :mod:`repro.core` -- the paper's Algorithms 1-4, the geometric
+  presentation, and single-column error correction.
+* :mod:`repro.codes` -- the code zoo: Liberation (optimal & original
+  bit-matrix baseline), EVENODD, RDP, Reed-Solomon.
+* :mod:`repro.bitmatrix` -- the Jerasure-style bit-matrix substrate.
+* :mod:`repro.engine` -- XOR schedules and their executors.
+* :mod:`repro.array` -- a RAID-6 array simulator (disks, stripes,
+  degraded I/O, rebuild, scrubbing, fault injection).
+* :mod:`repro.bench` -- harness regenerating the paper's tables/figures.
+"""
+
+from repro.codes import (
+    RAID6Code,
+    XorScheduleCode,
+    LiberationCode,
+    LiberationOptimal,
+    LiberationOriginal,
+    EvenOddCode,
+    RDPCode,
+    ReedSolomonCode,
+    make_code,
+    available_codes,
+)
+from repro.core import (
+    LiberationGeometry,
+    encode_schedule,
+    decode_schedule,
+    locate_and_correct,
+    ScanResult,
+    ScanStatus,
+)
+from repro.engine import Schedule, XorOp
+from repro.array import RAID6Array, Scrubber, FaultInjector
+from repro.parallel import BatchCoder, alloc_batch
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RAID6Code",
+    "XorScheduleCode",
+    "LiberationCode",
+    "LiberationOptimal",
+    "LiberationOriginal",
+    "EvenOddCode",
+    "RDPCode",
+    "ReedSolomonCode",
+    "make_code",
+    "available_codes",
+    "LiberationGeometry",
+    "encode_schedule",
+    "decode_schedule",
+    "locate_and_correct",
+    "ScanResult",
+    "ScanStatus",
+    "Schedule",
+    "XorOp",
+    "RAID6Array",
+    "Scrubber",
+    "FaultInjector",
+    "BatchCoder",
+    "alloc_batch",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Analysis utilities around the coding core.
+
+* :mod:`repro.analysis.reliability` -- Markov MTTDL models quantifying
+  the paper's §I motivation: why RAID-6 (any-two-failures plus an
+  unrecoverable read error during recovery) displaced RAID-5 as disks
+  grew and per-bit error rates stayed flat.
+* :mod:`repro.analysis.visualize` -- text renderers for codeword
+  geometry (the paper's Fig. 2/3 constraint grids) and schedule
+  statistics (depth/width of the XOR programs).
+"""
+
+from repro.analysis.reliability import (
+    DiskModel,
+    mttdl_raid5,
+    mttdl_raid6,
+    rebuild_read_failure_probability,
+)
+from repro.analysis.visualize import (
+    constraint_grid,
+    erasure_grid,
+    schedule_stats,
+    ScheduleStats,
+)
+
+__all__ = [
+    "DiskModel",
+    "mttdl_raid5",
+    "mttdl_raid6",
+    "rebuild_read_failure_probability",
+    "constraint_grid",
+    "erasure_grid",
+    "schedule_stats",
+    "ScheduleStats",
+]

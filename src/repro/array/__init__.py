@@ -1,0 +1,56 @@
+"""RAID-6 array simulator (paper §II substrate).
+
+Stripes, strips and elements laid out over simulated disks with
+rotating parity; full-stripe and read-modify-write small-write paths;
+degraded reads, rebuild, fault injection and scrubbing.
+"""
+
+from repro.array.disk import (
+    DiskError,
+    DiskFailedError,
+    LatentSectorError,
+    DiskStats,
+    SimulatedDisk,
+)
+from repro.array.layout import Address, DeclusteredLayout, StripeLayout
+from repro.array.raid6 import ArrayDegradedError, ArrayStats, RAID6Array
+from repro.array.scrub import ScrubReport, Scrubber
+from repro.array.faults import FaultInjector, InjectionLog
+from repro.array.journal import (
+    CrashPoint,
+    JournaledRAID6Array,
+    JournalRecord,
+    SimulatedCrash,
+    StripeJournal,
+)
+from repro.array.replay import ReplayStats, TraceOp, parse_trace, replay, synthesize_trace
+from repro.array import workloads
+
+__all__ = [
+    "DiskError",
+    "DiskFailedError",
+    "LatentSectorError",
+    "DiskStats",
+    "SimulatedDisk",
+    "Address",
+    "StripeLayout",
+    "DeclusteredLayout",
+    "ArrayDegradedError",
+    "ArrayStats",
+    "RAID6Array",
+    "ScrubReport",
+    "Scrubber",
+    "FaultInjector",
+    "InjectionLog",
+    "CrashPoint",
+    "JournaledRAID6Array",
+    "JournalRecord",
+    "SimulatedCrash",
+    "StripeJournal",
+    "ReplayStats",
+    "TraceOp",
+    "parse_trace",
+    "replay",
+    "synthesize_trace",
+    "workloads",
+]

@@ -1,0 +1,160 @@
+"""Stripe-to-disk layout with rotating parity.
+
+Maps the logical address space onto ``n = k + 2`` disks the way
+production RAID-6 does (left-symmetric rotation): for stripe ``s`` the
+role of disk ``d`` rotates so P and Q do not hot-spot one spindle.
+Logical *columns* (the code's view: data 0..k-1, P, Q) are translated
+to physical disks per stripe.
+
+Addressing follows the paper's Fig. 1: an *element* is the I/O unit,
+a *strip* is ``rows`` elements on one disk, a *stripe* is one strip
+from every disk, and user bytes fill data columns in column-major
+element order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Address", "StripeLayout"]
+
+
+@dataclass(frozen=True)
+class Address:
+    """Physical coordinates of one logical element."""
+
+    stripe: int
+    column: int  # logical column (0..k-1 data, k = P, k+1 = Q)
+    row: int  # element index within the strip
+    disk: int  # physical disk holding this column in this stripe
+
+
+class StripeLayout:
+    """Rotating-parity layout over ``n_disks = k + 2``."""
+
+    def __init__(self, k: int, rows: int, element_size: int, n_stripes: int) -> None:
+        if min(k, rows, element_size, n_stripes) <= 0:
+            raise ValueError("layout dimensions must be positive")
+        self.k = k
+        self.rows = rows
+        self.element_size = element_size
+        self.n_stripes = n_stripes
+        self.n_disks = k + 2
+
+    # -- capacity ----------------------------------------------------------
+
+    @property
+    def stripe_data_bytes(self) -> int:
+        return self.k * self.rows * self.element_size
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total user-addressable bytes."""
+        return self.n_stripes * self.stripe_data_bytes
+
+    # -- rotation -------------------------------------------------------------
+
+    def disk_for(self, stripe: int, column: int) -> int:
+        """Physical disk holding logical ``column`` of ``stripe``.
+
+        Left-symmetric: the whole column set shifts one disk per
+        stripe, so over ``n`` consecutive stripes each disk serves P
+        and Q exactly once.
+        """
+        if not 0 <= column < self.n_disks:
+            raise IndexError(f"column {column} out of range [0, {self.n_disks})")
+        return (column + stripe) % self.n_disks
+
+    def column_for(self, stripe: int, disk: int) -> int:
+        """Inverse of :meth:`disk_for`."""
+        if not 0 <= disk < self.n_disks:
+            raise IndexError(f"disk {disk} out of range [0, {self.n_disks})")
+        return (disk - stripe) % self.n_disks
+
+    # -- element addressing ------------------------------------------------------
+
+    def n_elements(self) -> int:
+        return self.n_stripes * self.k * self.rows
+
+    def element_address(self, index: int) -> Address:
+        """Physical address of logical element ``index``.
+
+        Elements fill a stripe column-major (all of data column 0's
+        strip, then column 1, ...) before moving to the next stripe --
+        matching how striping units map in Fig. 1.
+        """
+        if not 0 <= index < self.n_elements():
+            raise IndexError(f"element {index} out of range [0, {self.n_elements()})")
+        per_stripe = self.k * self.rows
+        stripe, rem = divmod(index, per_stripe)
+        column, row = divmod(rem, self.rows)
+        return Address(stripe, column, row, self.disk_for(stripe, column))
+
+    def byte_range_elements(self, offset: int, length: int) -> list[tuple[Address, int, int]]:
+        """Elements overlapping byte range ``[offset, offset+length)``.
+
+        Returns ``(address, start_within_element, end_within_element)``
+        triples, in logical order.
+        """
+        if offset < 0 or length < 0 or offset + length > self.capacity_bytes:
+            raise ValueError(
+                f"byte range [{offset}, {offset + length}) outside capacity "
+                f"{self.capacity_bytes}"
+            )
+        out = []
+        pos = offset
+        end = offset + length
+        while pos < end:
+            idx, within = divmod(pos, self.element_size)
+            take = min(self.element_size - within, end - pos)
+            out.append((self.element_address(idx), within, within + take))
+            pos += take
+        return out
+
+
+class DeclusteredLayout(StripeLayout):
+    """Parity declustering: stripes spread over a pool of ``n_pool``
+    disks (``n_pool >= k + 2``).
+
+    Each stripe maps its ``k + 2`` columns onto a deterministic
+    pseudo-random subset/permutation of the pool.  A failed disk then
+    touches only ``(k+2)/n_pool`` of the stripes, and its
+    reconstruction reads spread across *all* survivors -- shrinking the
+    rebuild window during which a second failure or an unrecoverable
+    read error is fatal (the exposure §I quantifies).
+    """
+
+    def __init__(
+        self, k: int, rows: int, element_size: int, n_stripes: int, n_pool: int, *, seed: int = 0
+    ) -> None:
+        super().__init__(k, rows, element_size, n_stripes)
+        if n_pool < k + 2:
+            raise ValueError(f"pool of {n_pool} disks cannot host k+2 = {k + 2} columns")
+        self.n_disks = int(n_pool)
+        self.seed = int(seed)
+        import numpy as _np
+
+        self._maps = []
+        for s in range(n_stripes):
+            rng = _np.random.default_rng((self.seed << 32) ^ (s * 0x9E3779B9 + 1))
+            self._maps.append(tuple(int(x) for x in rng.permutation(n_pool)[: k + 2]))
+
+    def disk_for(self, stripe: int, column: int) -> int:
+        if not 0 <= column < self.k + 2:
+            raise IndexError(f"column {column} out of range [0, {self.k + 2})")
+        return self._maps[stripe][column]
+
+    def column_for(self, stripe: int, disk: int):
+        """Logical column of ``disk`` in ``stripe``, or ``None`` if the
+        stripe does not touch that disk."""
+        if not 0 <= disk < self.n_disks:
+            raise IndexError(f"disk {disk} out of range [0, {self.n_disks})")
+        mapping = self._maps[stripe]
+        try:
+            return mapping.index(disk)
+        except ValueError:
+            return None
+
+    def stripes_on_disk(self, disk: int) -> list[int]:
+        """Stripes that place a column on ``disk``."""
+        return [s for s in range(self.n_stripes) if disk in self._maps[s]]

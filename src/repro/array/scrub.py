@@ -1,0 +1,72 @@
+"""Background scrubbing against silent data corruption.
+
+The scrubber walks every stripe, checks parity consistency, and -- for
+Liberation arrays -- uses the paper's single-column error-correction
+procedure (:mod:`repro.core.error_correction`) to locate and repair a
+corrupted strip without any hint from the disks.  Codes without a
+locator fall back to detect-only reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.array.raid6 import RAID6Array
+from repro.codes.liberation import LiberationCode
+from repro.core.error_correction import ScanStatus, locate_and_correct
+
+__all__ = ["ScrubReport", "Scrubber"]
+
+
+@dataclass
+class ScrubReport:
+    """Aggregate outcome of one scrub pass."""
+
+    stripes_scanned: int = 0
+    stripes_clean: int = 0
+    stripes_corrected: int = 0
+    stripes_uncorrectable: int = 0
+    corrected: list[tuple[int, int]] = field(default_factory=list)  # (stripe, column)
+    uncorrectable: list[int] = field(default_factory=list)  # stripe ids
+
+    @property
+    def healthy(self) -> bool:
+        return self.stripes_uncorrectable == 0
+
+
+class Scrubber:
+    """Scrubs a :class:`~repro.array.raid6.RAID6Array` in place."""
+
+    def __init__(self, array: RAID6Array) -> None:
+        self.array = array
+        code = array.code
+        self._can_locate = isinstance(code, LiberationCode)
+
+    def scrub(self, *, repair: bool = True) -> ScrubReport:
+        """One full pass over all stripes.
+
+        With ``repair`` (default), corrupted strips located by the
+        Liberation error-correction procedure are rewritten; without
+        it (or for codes lacking a locator) corruption is only counted.
+        """
+        arr, code = self.array, self.array.code
+        report = ScrubReport()
+        for stripe in range(arr.layout.n_stripes):
+            buf = arr.read_stripe(stripe)
+            report.stripes_scanned += 1
+            if code.verify(buf):
+                report.stripes_clean += 1
+                continue
+            if not (self._can_locate and repair):
+                report.stripes_uncorrectable += 1
+                report.uncorrectable.append(stripe)
+                continue
+            result = locate_and_correct(code.geometry, buf)
+            if result.status is ScanStatus.CORRECTED:
+                arr.write_stripe(stripe, buf, columns=[result.column])
+                report.stripes_corrected += 1
+                report.corrected.append((stripe, result.column))
+            else:
+                report.stripes_uncorrectable += 1
+                report.uncorrectable.append(stripe)
+        return report

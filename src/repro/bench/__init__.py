@@ -1,0 +1,46 @@
+"""Benchmark harness regenerating the paper's tables and figures.
+
+* :mod:`repro.bench.complexity` -- XOR-count experiments: Table I and
+  Figs. 5-8 (normalized encoding/decoding complexity).
+* :mod:`repro.bench.throughput` -- timed experiments: Figs. 9-13
+  (encoding/decoding GB/s), using the Jerasure-like streaming executor
+  so measured time is proportional to schedule op counts.
+* :mod:`repro.bench.report` -- text rendering of series in the paper's
+  row format, and persistence under ``results/``.
+
+Every figure has a generator function returning plain data (list of
+rows), so the pytest benchmarks, the standalone runner
+(``benchmarks/run_figures.py``) and the tests all share one source of
+truth.
+"""
+
+from repro.bench.complexity import (
+    encoding_complexity_series,
+    decoding_complexity_series,
+    table1_rows,
+    all_data_pairs,
+)
+from repro.bench.throughput import (
+    ThroughputResult,
+    measure_encode,
+    measure_decode,
+    encode_throughput_series,
+    decode_throughput_series,
+    element_size_series,
+)
+from repro.bench.report import format_table, save_series
+
+__all__ = [
+    "encoding_complexity_series",
+    "decoding_complexity_series",
+    "table1_rows",
+    "all_data_pairs",
+    "ThroughputResult",
+    "measure_encode",
+    "measure_decode",
+    "encode_throughput_series",
+    "decode_throughput_series",
+    "element_size_series",
+    "format_table",
+    "save_series",
+]

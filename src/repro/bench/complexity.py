@@ -1,0 +1,201 @@
+"""XOR-count experiments: Table I and Figs. 5-8.
+
+Complexities are *measured* from the actual schedules each
+implementation emits (never from closed forms -- the closed forms live
+in :mod:`repro.codes.theory` and the tests assert the two agree), then
+normalized by the ``k - 1`` lower bound exactly as in the paper.
+
+For decoding, the paper averages over "all the possible erasure
+patterns"; the ``k - 1`` lower bound refers to reconstructing missing
+*data*, so we average over all ``C(k, 2)`` two-data-column patterns --
+the hard case every compared algorithm defines -- and expose the easy
+patterns separately.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Sequence
+
+from repro.codes.registry import make_code
+from repro.utils.primes import next_prime
+
+__all__ = [
+    "FIG5_CODES",
+    "all_data_pairs",
+    "encoding_complexity_point",
+    "decoding_complexity_point",
+    "encoding_complexity_series",
+    "decoding_complexity_series",
+    "table1_rows",
+]
+
+#: Code families of Figs. 5-8, in the paper's legend order.
+FIG5_CODES = ("evenodd", "rdp", "liberation-original", "liberation-optimal")
+
+
+def _minimal_p(name: str, k: int) -> int:
+    """The 'p varying with k' rule: each code's smallest legal prime."""
+    if name == "rdp":
+        return next_prime(k + 1)
+    return next_prime(k)
+
+
+def _make(name: str, k: int, p: int | None):
+    return make_code(name, k, p=_minimal_p(name, k) if p is None else p)
+
+
+def all_data_pairs(k: int) -> list[tuple[int, int]]:
+    """Every two-data-column erasure pattern."""
+    return list(itertools.combinations(range(k), 2))
+
+
+def encoding_complexity_point(name: str, k: int, p: int | None = None) -> float:
+    """Normalized encoding complexity (1.0 = the ``k-1`` bound)."""
+    code = _make(name, k, p)
+    return code.encoding_complexity() / (k - 1)
+
+
+def decoding_complexity_point(
+    name: str, k: int, p: int | None = None, pairs: Sequence[tuple[int, int]] | None = None
+) -> float:
+    """Normalized decoding complexity averaged over data-column pairs."""
+    code = _make(name, k, p)
+    if pairs is None:
+        pairs = all_data_pairs(k)
+    total = sum(code.decoding_xors(pair) for pair in pairs)
+    return total / len(pairs) / (2 * code.rows) / (k - 1)
+
+
+def encoding_complexity_series(
+    k_values: Sequence[int], *, p: int | None = None, codes: Sequence[str] = FIG5_CODES
+) -> list[dict]:
+    """Fig. 5 (``p=None``: p varies with k) / Fig. 6 (fixed ``p``) data.
+
+    Returns one row per ``k``: ``{"k": k, "<code>": normalized, ...}``.
+    Codes whose constraints exclude a point (e.g. RDP needs
+    ``k <= p-1``) report ``None`` there.
+    """
+    rows = []
+    for k in k_values:
+        row: dict = {"k": k}
+        for name in codes:
+            try:
+                row[name] = encoding_complexity_point(name, k, p)
+            except ValueError:
+                row[name] = None
+        rows.append(row)
+    return rows
+
+
+def decoding_complexity_series(
+    k_values: Sequence[int],
+    *,
+    p: int | None = None,
+    codes: Sequence[str] = FIG5_CODES,
+    max_pairs: int | None = None,
+) -> list[dict]:
+    """Fig. 7 / Fig. 8 data (see :func:`encoding_complexity_series`).
+
+    ``max_pairs`` caps the number of erasure patterns per point (evenly
+    strided subsample) to bound runtime; ``None`` means exhaustive, as
+    in the paper.
+    """
+    rows = []
+    for k in k_values:
+        pairs = all_data_pairs(k)
+        if max_pairs is not None and len(pairs) > max_pairs:
+            stride = len(pairs) / max_pairs
+            pairs = [pairs[int(i * stride)] for i in range(max_pairs)]
+        row: dict = {"k": k}
+        for name in codes:
+            try:
+                row[name] = decoding_complexity_point(name, k, p, pairs)
+            except ValueError:
+                row[name] = None
+        rows.append(row)
+    return rows
+
+
+def decoding_pair_profile(name: str, k: int, p: int | None = None) -> dict:
+    """Distribution of decode cost over erasure positions.
+
+    The paper notes the proposed decoder is "either optimal or near
+    optimal, depending on the positions of the failed disks"; this
+    quantifies that: per-pair normalized complexities, their min / mean
+    / max, the share of exactly-optimal pairs, and the worst pair.
+    """
+    code = _make(name, k, p)
+    denom = 2 * code.rows * (k - 1)
+    per_pair = {
+        pair: code.decoding_xors(pair) / denom for pair in all_data_pairs(k)
+    }
+    values = sorted(per_pair.values())
+    worst = max(per_pair, key=per_pair.get)
+    optimal = sum(1 for v in values if v <= 1.0 + 1e-12)
+    return {
+        "code": name,
+        "k": k,
+        "p": code.rows if name not in ("evenodd", "rdp") else code.p,
+        "pairs": len(values),
+        "min": values[0],
+        "mean": sum(values) / len(values),
+        "max": values[-1],
+        "optimal_share": optimal / len(values),
+        "worst_pair": worst,
+        "per_pair": per_pair,
+    }
+
+
+def table1_rows(k: int = 10) -> list[dict]:
+    """Table I: measured characteristics of the representative codes.
+
+    ``w``/``k_max`` are structural; encode/decode/update columns are
+    measured on the implementations at the given ``k`` (minimal p).
+    """
+    from repro.codes.theory import (
+        lower_bound_decoding,
+        lower_bound_encoding,
+        lower_bound_update,
+    )
+
+    import numpy as np
+
+    rows = []
+    for name in FIG5_CODES:
+        code = _make(name, k, None)
+        pairs = all_data_pairs(k)
+        dec = sum(code.decoding_xors(pr) for pr in pairs) / len(pairs) / (2 * code.rows)
+        # Measured average update complexity over every data element.
+        buf = code.alloc_stripe()
+        rng = np.random.default_rng(0)
+        buf[: code.k] = rng.integers(0, 2**64, buf[: code.k].shape, dtype=np.uint64)
+        code.encode(buf)
+        total = sum(
+            code.update(
+                buf, c, r, rng.integers(0, 2**64, buf[c, r].shape, dtype=np.uint64)
+            )
+            for c in range(code.k)
+            for r in range(code.rows)
+        )
+        rows.append(
+            {
+                "code": name,
+                "w": code.rows,
+                "p": getattr(code, "p", None),
+                "encoding": code.encoding_complexity(),
+                "decoding": dec,
+                "update": total / (code.k * code.rows),
+            }
+        )
+    rows.append(
+        {
+            "code": "lower-bound",
+            "w": None,
+            "p": None,
+            "encoding": lower_bound_encoding(k),
+            "decoding": lower_bound_decoding(k),
+            "update": lower_bound_update(k),
+        }
+    )
+    return rows

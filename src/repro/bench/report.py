@@ -1,0 +1,62 @@
+"""Text rendering and persistence of experiment series.
+
+Series are lists of dict rows (as produced by
+:mod:`repro.bench.complexity` / :mod:`repro.bench.throughput`);
+:func:`format_table` renders them in the aligned row format the
+benchmark harness prints, and :func:`save_series` writes them under
+``results/`` so every run leaves a comparable artifact.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from collections.abc import Sequence
+
+__all__ = ["format_table", "save_series", "results_dir"]
+
+
+def results_dir(base: str | pathlib.Path | None = None) -> pathlib.Path:
+    """The ``results/`` directory (created on demand).
+
+    Defaults to ``results/`` next to the repository's ``benchmarks/``
+    (i.e. the current working directory's ``results``).
+    """
+    d = pathlib.Path(base) if base is not None else pathlib.Path("results")
+    d.mkdir(parents=True, exist_ok=True)
+    return d
+
+
+def _fmt(v) -> str:
+    if v is None:
+        return "-"
+    if isinstance(v, float):
+        return f"{v:.4f}"
+    return str(v)
+
+
+def format_table(rows: Sequence[dict], *, title: str | None = None) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return (title + "\n") if title else ""
+    cols = list(rows[0].keys())
+    cells = [[_fmt(r.get(c)) for c in cols] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.ljust(w) for c, w in zip(cols, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def save_series(
+    name: str, rows: Sequence[dict], *, title: str | None = None, base=None
+) -> pathlib.Path:
+    """Render and persist a series under ``results/<name>.txt``."""
+    path = results_dir(base) / f"{name}.txt"
+    path.write_text(format_table(rows, title=title))
+    return path

@@ -1,0 +1,227 @@
+"""Timed throughput experiments: Figs. 9-13.
+
+Measurement protocol (mirroring the paper's use of the Jerasure timing
+programs):
+
+* codes run in **streaming** execution mode -- one region op per
+  scheduled XOR/copy, Jerasure's execution model -- so time is
+  proportional to the schedule's operation count;
+* the *original* decoder re-derives its decoding matrix and schedule on
+  every call (as Jerasure does), while the *optimal* decoder reuses
+  per-pattern plans (Algorithms 2-4 are matrix-free index walks);
+* throughput = user data bytes per stripe / wall time, best of
+  ``repeats`` timing windows of ``inner`` calls each;
+* decode throughput is averaged over two-data-column erasure patterns
+  (``max_pairs`` caps the pattern count per point to bound runtime).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.bench.complexity import all_data_pairs
+from repro.codes.registry import make_code
+from repro.utils.primes import prime_for_k
+
+__all__ = [
+    "ThroughputResult",
+    "make_bench_code",
+    "measure_encode",
+    "measure_decode",
+    "encode_throughput_series",
+    "decode_throughput_series",
+    "element_size_series",
+]
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """One measured point."""
+
+    name: str
+    k: int
+    p: int
+    element_size: int
+    gbps: float
+    seconds_per_call: float
+
+
+def make_bench_code(name: str, k: int, p: int | None, element_size: int):
+    """A code instance configured for paper-faithful timing."""
+    return make_code(
+        name,
+        k,
+        p=p if p is not None else prime_for_k(k),
+        element_size=element_size,
+        execution="streaming",
+    )
+
+
+def _filled_stripe(code, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    buf = code.alloc_stripe()
+    buf[: code.k] = rng.integers(0, 2**64, buf[: code.k].shape, dtype=np.uint64)
+    code.encode(buf)
+    return buf
+
+
+def _best_window(fn, *, inner: int, repeats: int) -> float:
+    """Seconds per call, best-of-``repeats`` windows (noise-robust)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        best = min(best, (time.perf_counter() - t0) / inner)
+    return best
+
+
+def measure_encode(
+    name: str,
+    k: int,
+    *,
+    p: int | None = None,
+    element_size: int = 4096,
+    inner: int = 10,
+    repeats: int = 3,
+) -> ThroughputResult:
+    """Encoding throughput of one configuration."""
+    code = make_bench_code(name, k, p, element_size)
+    buf = _filled_stripe(code)
+    code.encode(buf)  # warm plans
+    sec = _best_window(lambda: code.encode(buf), inner=inner, repeats=repeats)
+    return ThroughputResult(
+        name, k, code.p, element_size, code.data_bytes / sec / 1e9, sec
+    )
+
+
+def measure_decode(
+    name: str,
+    k: int,
+    *,
+    p: int | None = None,
+    element_size: int = 4096,
+    max_pairs: int = 6,
+    inner: int = 3,
+    repeats: int = 3,
+) -> ThroughputResult:
+    """Decoding throughput averaged over two-data-column patterns.
+
+    Each timed call decodes one erasure pattern in place (the buffer
+    contents stay consistent: decoding a consistent stripe is a no-op
+    value-wise but performs all the work, exactly like Jerasure's
+    timing tools).
+    """
+    code = make_bench_code(name, k, p, element_size)
+    buf = _filled_stripe(code)
+    pairs = all_data_pairs(k)
+    if len(pairs) > max_pairs:
+        stride = len(pairs) / max_pairs
+        pairs = [pairs[int(i * stride)] for i in range(max_pairs)]
+    per_pair = []
+    for pair in pairs:
+        code.decode(buf, pair)  # warm (no-op for the uncached original)
+        sec = _best_window(lambda: code.decode(buf, pair), inner=inner, repeats=repeats)
+        per_pair.append(sec)
+    sec = float(np.mean(per_pair))
+    return ThroughputResult(
+        name, k, code.p, element_size, code.data_bytes / sec / 1e9, sec
+    )
+
+
+def encode_throughput_series(
+    k_values: Sequence[int],
+    *,
+    p: int | None = None,
+    element_size: int = 4096,
+    names: Sequence[str] = ("liberation-original", "liberation-optimal"),
+    inner: int = 10,
+    repeats: int = 3,
+) -> list[dict]:
+    """Fig. 10 (``p=None``) / Fig. 11 (fixed ``p``) data rows.
+
+    The compared algorithms' timing windows are *interleaved*
+    (A, B, A, B, ...) and each takes its best window, so slow drifts in
+    background load hit both alike -- without this, a few-percent
+    algorithmic difference is unmeasurable on a shared machine.
+    """
+    rows = []
+    for k in k_values:
+        codes = []
+        for name in names:
+            code = make_bench_code(name, k, p, element_size)
+            buf = _filled_stripe(code)
+            code.encode(buf)  # warm plans
+            codes.append((name, code, buf))
+        best = {name: float("inf") for name in names}
+        for _ in range(repeats):
+            for name, code, buf in codes:
+                t0 = time.perf_counter()
+                for _ in range(inner):
+                    code.encode(buf)
+                best[name] = min(best[name], (time.perf_counter() - t0) / inner)
+        row: dict = {"k": k}
+        for name, code, _buf in codes:
+            row[name] = code.data_bytes / best[name] / 1e9
+        rows.append(row)
+    return rows
+
+
+def decode_throughput_series(
+    k_values: Sequence[int],
+    *,
+    p: int | None = None,
+    element_size: int = 4096,
+    names: Sequence[str] = ("liberation-original", "liberation-optimal"),
+    max_pairs: int = 6,
+    inner: int = 3,
+    repeats: int = 3,
+) -> list[dict]:
+    """Fig. 12 (``p=None``) / Fig. 13 (fixed ``p``) data rows."""
+    rows = []
+    for k in k_values:
+        row: dict = {"k": k}
+        for name in names:
+            res = measure_decode(
+                name,
+                k,
+                p=p,
+                element_size=element_size,
+                max_pairs=max_pairs,
+                inner=inner,
+                repeats=repeats,
+            )
+            row[name] = res.gbps
+        rows.append(row)
+    return rows
+
+
+def element_size_series(
+    p_values: Sequence[int] = (5, 7, 11),
+    *,
+    log2_sizes: Sequence[int] = (12, 13, 14, 15, 16),
+    names: Sequence[str] = ("liberation-original", "liberation-optimal"),
+    inner: int = 10,
+    repeats: int = 3,
+) -> dict[int, list[dict]]:
+    """Fig. 9 data: encoding throughput vs element size, ``k = p``.
+
+    Returns ``{p: [{"log2_elem": e, "<name>": gbps, ...}, ...]}``.
+    """
+    out: dict[int, list[dict]] = {}
+    for p in p_values:
+        rows = []
+        for e in log2_sizes:
+            row: dict = {"log2_elem": e}
+            for name in names:
+                res = measure_encode(
+                    name, p, p=p, element_size=2**e, inner=inner, repeats=repeats
+                )
+                row[name] = res.gbps
+            rows.append(row)
+        out[p] = rows
+    return out

@@ -1,0 +1,56 @@
+"""Jerasure-style bit-matrix coding substrate.
+
+The original Liberation implementation (Plank, FAST'08; shipped in the
+Jerasure library the paper modifies) represents a code as a ``2w x kw``
+generator bit-matrix and derives encode/decode programs from it:
+
+* :mod:`repro.bitmatrix.builder` -- generator matrices for Liberation
+  (from the paper's defining equations) and for generic XOR codes.
+* :mod:`repro.bitmatrix.schedule` -- bit-matrix -> XOR schedule
+  lowering: *dumb* (one XOR chain per parity bit) and *smart* (Plank's
+  bit-matrix scheduling, deriving each output row from the
+  previously-computed row with the smallest Hamming distance).
+* :mod:`repro.bitmatrix.decode` -- generic erasure decoding: select a
+  full-rank set of surviving rows, invert it over GF(2), and lower the
+  decoding matrix to a schedule.
+
+This is the baseline the paper compares against; its higher XOR counts
+and its per-decode matrix inversion + scheduling overhead are exactly
+the costs the paper's Algorithms 1-4 eliminate.
+"""
+
+from repro.bitmatrix.builder import (
+    liberation_bitmatrix,
+    bitmatrix_from_parity_cells,
+    full_generator,
+)
+from repro.bitmatrix.schedule import (
+    dumb_schedule,
+    smart_schedule,
+    schedule_from_rows,
+)
+from repro.bitmatrix.decode import (
+    decoding_rows,
+    bitmatrix_decode_schedule,
+)
+from repro.bitmatrix.cauchy import (
+    cauchy_original_matrix,
+    cauchy_good_matrix,
+    cauchy_bitmatrix,
+    min_w_for,
+)
+
+__all__ = [
+    "liberation_bitmatrix",
+    "bitmatrix_from_parity_cells",
+    "full_generator",
+    "dumb_schedule",
+    "smart_schedule",
+    "schedule_from_rows",
+    "decoding_rows",
+    "bitmatrix_decode_schedule",
+    "cauchy_original_matrix",
+    "cauchy_good_matrix",
+    "cauchy_bitmatrix",
+    "min_w_for",
+]

@@ -1,0 +1,107 @@
+"""Generator bit-matrix construction.
+
+A RAID-6 bit-matrix code with ``k`` data columns of ``w`` bits each is a
+``2w x kw`` 0/1 matrix ``G``; stacking the data columns into a ``kw``
+vector ``d``, the parity bits are ``G @ d`` over GF(2) -- rows ``0..w-1``
+are the P (row-parity) bits and rows ``w..2w-1`` the Q bits.
+
+:func:`liberation_bitmatrix` builds ``G`` for the Liberation code
+directly from the paper's defining equations (1)-(2):
+
+.. math::
+
+    b_{i,p}   = \\bigoplus_{t<p} b_{i,t} \\qquad
+    b_{i,p+1} = \\Big(\\bigoplus_{t<p} b_{\\langle i+t\\rangle,t}\\Big)
+                \\oplus a_i,
+
+with the extra bit :math:`a_i = b_{\\langle -i-1\\rangle,\\langle -2i\\rangle}`
+for :math:`i \\neq 0`.  Phantom columns (``k <= j < p``) are all-zero and
+simply dropped, which is why the matrix works for every ``2 <= k <= p``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.modular import Mod
+from repro.utils.validation import check_prime_p, check_k
+
+__all__ = [
+    "liberation_bitmatrix",
+    "liberation_parity_cells",
+    "bitmatrix_from_parity_cells",
+    "full_generator",
+]
+
+
+def liberation_parity_cells(p: int, k: int) -> tuple[list[list[tuple[int, int]]], list[list[tuple[int, int]]]]:
+    """Cell membership of every parity constraint of Liberation(p, k).
+
+    Returns ``(p_rows, q_rows)`` where ``p_rows[i]`` / ``q_rows[i]`` list
+    the data cells ``(row, col)`` participating in the i-th row-parity /
+    anti-diagonal-parity constraint, restricted to real columns
+    ``col < k``.  This is the single source of truth for the code's
+    definition; both the bit-matrix and the geometric presentation in
+    :mod:`repro.core.geometry` are derived from (or validated against) it.
+    """
+    p = check_prime_p(p)
+    k = check_k(k, p, code="liberation")
+    mod = Mod(p)
+
+    p_rows: list[list[tuple[int, int]]] = [[] for _ in range(p)]
+    q_rows: list[list[tuple[int, int]]] = [[] for _ in range(p)]
+    for i in range(p):
+        for t in range(k):
+            p_rows[i].append((i, t))  # b_{i,t} in P_i
+            q_rows[i].append((mod(i + t), t))  # b_{<i+t>,t} in Q_i
+        if i != 0:
+            extra = (mod(-i - 1), mod(-2 * i))  # a_i
+            if extra[1] < k:
+                q_rows[i].append(extra)
+    return p_rows, q_rows
+
+
+def bitmatrix_from_parity_cells(
+    p_rows: list[list[tuple[int, int]]],
+    q_rows: list[list[tuple[int, int]]],
+    w: int,
+    k: int,
+) -> np.ndarray:
+    """Assemble a ``2w x kw`` generator from parity-constraint cell lists.
+
+    Data bit ``(row, col)`` maps to vector index ``col * w + row``
+    (column-major within the stripe, matching Jerasure's layout).
+    """
+    g = np.zeros((2 * w, k * w), dtype=np.uint8)
+    for i, cells in enumerate(p_rows):
+        for (row, col) in cells:
+            g[i, col * w + row] ^= 1
+    for i, cells in enumerate(q_rows):
+        for (row, col) in cells:
+            g[w + i, col * w + row] ^= 1
+    return g
+
+
+def liberation_bitmatrix(p: int, k: int) -> np.ndarray:
+    """The ``2p x kp`` Liberation generator bit-matrix.
+
+    >>> liberation_bitmatrix(3, 3).shape
+    (6, 9)
+    """
+    p_rows, q_rows = liberation_parity_cells(p, k)
+    return bitmatrix_from_parity_cells(p_rows, q_rows, p, k)
+
+
+def full_generator(generator: np.ndarray, w: int, k: int) -> np.ndarray:
+    """Stack the identity over the parity generator.
+
+    Returns the ``(k+2)w x kw`` matrix whose rows express *every* stored
+    bit (data first, then P, then Q) as a combination of data bits --
+    the form the generic erasure decoder selects surviving rows from.
+    """
+    if generator.shape != (2 * w, k * w):
+        raise ValueError(
+            f"generator shape {generator.shape} does not match (2*{w}, {k}*{w})"
+        )
+    ident = np.eye(k * w, dtype=np.uint8)
+    return np.vstack([ident, generator.astype(np.uint8)])

@@ -1,0 +1,96 @@
+"""Cauchy Reed-Solomon generator matrices (Jerasure's ``cauchy.c``).
+
+The Cauchy construction gives an MDS generator for any ``k + m <= 2^w``:
+``M[i][j] = 1 / (x_i ^ y_j)`` over GF(2^w) with the ``x_i`` and ``y_j``
+distinct.  Projecting each element to its ``w x w`` multiplication
+bit-matrix yields an XOR code that plugs straight into the bit-matrix
+substrate (schedules, generic decoding).
+
+Two variants, as in Jerasure:
+
+* :func:`cauchy_original_matrix` -- the textbook matrix.
+* :func:`cauchy_good_matrix` -- the "good" matrix: each column is
+  divided by its first-row element (making row 0 the identity, i.e. a
+  plain RAID-5 P row) and every later row is rescaled by whichever
+  field element minimises the number of ones in its projected
+  bit-matrix.  Fewer ones = fewer XORs; for m = 2 this makes Cauchy RS
+  a P+Q-compliant RAID-6 code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gf.gf2w import GF2w, element_bitmatrix
+
+__all__ = [
+    "cauchy_original_matrix",
+    "cauchy_good_matrix",
+    "cauchy_bitmatrix",
+    "min_w_for",
+]
+
+
+def min_w_for(k: int, m: int = 2) -> int:
+    """Smallest supported ``w`` with ``k + m <= 2^w``."""
+    w = 2
+    while (1 << w) < k + m:
+        w += 1
+        if w > 12:
+            raise ValueError(f"k + m = {k + m} too large for Cauchy (w <= 12)")
+    return w
+
+
+def cauchy_original_matrix(gf: GF2w, k: int, m: int = 2) -> np.ndarray:
+    """The plain ``m x k`` Cauchy matrix over GF(2^w)."""
+    if k + m > gf.size:
+        raise ValueError(f"k + m = {k + m} exceeds field size 2^{gf.w}")
+    xs = list(range(m))  # x_i = i
+    ys = list(range(m, m + k))  # y_j = m + j
+    out = np.zeros((m, k), dtype=np.int64)
+    for i, x in enumerate(xs):
+        for j, y in enumerate(ys):
+            out[i, j] = gf.inverse(x ^ y)
+    return out
+
+
+def _ones_of(gf: GF2w, e: int) -> int:
+    return int(element_bitmatrix(gf, e).sum())
+
+
+def cauchy_good_matrix(gf: GF2w, k: int, m: int = 2) -> np.ndarray:
+    """Jerasure-style optimised Cauchy matrix.
+
+    Column-normalise so row 0 becomes all ones (identity blocks: the P
+    row costs exactly ``k - 1`` XORs per bit), then rescale each later
+    row by the field element minimising its projected one-count.
+    """
+    mat = cauchy_original_matrix(gf, k, m)
+    # Divide each column by its row-0 entry.
+    for j in range(k):
+        inv = gf.inverse(int(mat[0, j]))
+        for i in range(m):
+            mat[i, j] = gf.mul(int(mat[i, j]), inv)
+    # Rescale rows 1.. to minimise total bitmatrix ones.
+    for i in range(1, m):
+        best_scale, best_cost = 1, None
+        for scale in range(1, gf.size):
+            cost = sum(_ones_of(gf, gf.mul(scale, int(mat[i, j]))) for j in range(k))
+            if best_cost is None or cost < best_cost:
+                best_scale, best_cost = scale, cost
+        for j in range(k):
+            mat[i, j] = gf.mul(best_scale, int(mat[i, j]))
+    return mat
+
+
+def cauchy_bitmatrix(gf: GF2w, matrix: np.ndarray) -> np.ndarray:
+    """Project an ``m x k`` GF(2^w) matrix to an ``mw x kw`` bit-matrix."""
+    m, k = matrix.shape
+    w = gf.w
+    out = np.zeros((m * w, k * w), dtype=np.uint8)
+    for i in range(m):
+        for j in range(k):
+            out[i * w : (i + 1) * w, j * w : (j + 1) * w] = element_bitmatrix(
+                gf, int(matrix[i, j])
+            )
+    return out

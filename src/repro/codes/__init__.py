@@ -1,0 +1,41 @@
+"""RAID-6 code implementations.
+
+The zoo the paper's evaluation draws on:
+
+* :class:`~repro.codes.liberation.LiberationOptimal` -- the paper's
+  contribution (Algorithms 1-4).
+* :class:`~repro.codes.liberation.LiberationOriginal` -- the Jerasure
+  bit-matrix baseline.
+* :class:`~repro.codes.evenodd.EvenOddCode`,
+  :class:`~repro.codes.rdp.RDPCode` -- complexity comparators
+  (Figs. 5-8).
+* :class:`~repro.codes.reed_solomon.ReedSolomonCode` -- the GF(2^8)
+  reference scheme (Linux RAID-6), outside the XOR-count framework.
+"""
+
+from repro.codes.base import RAID6Code, XorScheduleCode
+from repro.codes.blaum_roth import BlaumRothCode
+from repro.codes.cauchy import CauchyRSCode
+from repro.codes.evenodd import EvenOddCode
+from repro.codes.liberation import LiberationCode, LiberationOptimal, LiberationOriginal
+from repro.codes.rdp import RDPCode
+from repro.codes.reed_solomon import ReedSolomonCode
+from repro.codes.registry import CODE_FAMILIES, available_codes, make_code
+from repro.codes import theory
+
+__all__ = [
+    "RAID6Code",
+    "XorScheduleCode",
+    "LiberationCode",
+    "LiberationOptimal",
+    "LiberationOriginal",
+    "EvenOddCode",
+    "RDPCode",
+    "ReedSolomonCode",
+    "CauchyRSCode",
+    "BlaumRothCode",
+    "CODE_FAMILIES",
+    "available_codes",
+    "make_code",
+    "theory",
+]

@@ -1,0 +1,61 @@
+"""Name-based code construction.
+
+``make_code("liberation-optimal", k=10)`` is the one-stop factory used
+by the array simulator, the examples and the benchmark harness; it
+keeps string names (CLI/config friendly) in one place.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.codes.base import RAID6Code
+from repro.codes.blaum_roth import BlaumRothCode
+from repro.codes.cauchy import CauchyRSCode
+from repro.codes.evenodd import EvenOddCode
+from repro.codes.liberation import LiberationOptimal, LiberationOriginal
+from repro.codes.rdp import RDPCode
+from repro.codes.reed_solomon import ReedSolomonCode
+
+__all__ = ["CODE_FAMILIES", "make_code", "available_codes"]
+
+
+def _original_dumb(k: int, **kw) -> LiberationOriginal:
+    return LiberationOriginal(k, smart=False, **kw)
+
+
+def _cauchy_original(k: int, **kw) -> CauchyRSCode:
+    return CauchyRSCode(k, good=False, **kw)
+
+
+CODE_FAMILIES: dict[str, Callable[..., RAID6Code]] = {
+    "liberation-optimal": LiberationOptimal,
+    "liberation-original": LiberationOriginal,
+    "liberation-original-dumb": _original_dumb,
+    "evenodd": EvenOddCode,
+    "rdp": RDPCode,
+    "reed-solomon": ReedSolomonCode,
+    "cauchy-rs": CauchyRSCode,
+    "cauchy-rs-original": _cauchy_original,
+    "blaum-roth": BlaumRothCode,
+}
+
+
+def available_codes() -> tuple[str, ...]:
+    """Registered code family names."""
+    return tuple(CODE_FAMILIES)
+
+
+def make_code(name: str, k: int, **kwargs) -> RAID6Code:
+    """Instantiate a code family by name.
+
+    Extra keyword arguments are forwarded to the constructor (``p``,
+    ``element_size``, ...).
+    """
+    try:
+        factory = CODE_FAMILIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown code {name!r}; available: {', '.join(CODE_FAMILIES)}"
+        ) from None
+    return factory(k, **kwargs)

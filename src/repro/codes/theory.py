@@ -1,0 +1,136 @@
+"""Closed-form complexity models (the paper's Table I).
+
+These formulas describe the *expected* behaviour of each code; the test
+suite asserts that the measured schedule costs of our implementations
+match them, which is how we know the implementations faithfully
+represent the codes being compared in Figs. 5-8.
+
+All encoding/decoding complexities are per parity/missing *bit*; the
+lower bound for a (k+2, k) MDS code is ``k - 1`` for both, and ``2`` for
+update complexity (Blaum & Roth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "lower_bound_encoding",
+    "lower_bound_decoding",
+    "lower_bound_update",
+    "CodeModel",
+    "EVENODD_MODEL",
+    "RDP_MODEL",
+    "LIBERATION_ORIGINAL_MODEL",
+    "LIBERATION_OPTIMAL_MODEL",
+    "TABLE1_MODELS",
+]
+
+
+def lower_bound_encoding(k: int) -> float:
+    """Optimal XORs per parity bit for a (k+2, k) MDS array code."""
+    return float(k - 1)
+
+
+def lower_bound_decoding(k: int) -> float:
+    """Optimal XORs per missing bit."""
+    return float(k - 1)
+
+
+def lower_bound_update(_k: int) -> float:
+    """Minimum parity updates per data-bit modification (= r = 2)."""
+    return 2.0
+
+
+@dataclass(frozen=True)
+class CodeModel:
+    """Table I row: closed-form characteristics of one code family."""
+
+    name: str
+    column_bits: str  # w as a function of p
+    k_max: str  # restriction on k
+
+    def w(self, p: int) -> int:
+        raise NotImplementedError
+
+    def encoding_complexity(self, p: int, k: int) -> float:
+        raise NotImplementedError
+
+    def update_complexity(self, p: int, k: int) -> float:
+        raise NotImplementedError
+
+
+class _EvenOdd(CodeModel):
+    def w(self, p: int) -> int:
+        return p - 1
+
+    def encoding_complexity(self, p: int, k: int) -> float:
+        # ((p-1)(k-1) + k(p-1) - 1) / (2(p-1)): "about k - 1/2".
+        return ((p - 1) * (2 * k - 1) - 1) / (2 * (p - 1))
+
+    def update_complexity(self, p: int, k: int) -> float:
+        # One P element always.  A bit on the adjuster (= missing)
+        # diagonal has no Q element of its own but flips S and hence
+        # every Q element; any other bit touches exactly one Q element.
+        cells = k * (p - 1)
+        s_cells = k - 1  # adjuster-diagonal cells among real columns
+        plain = cells - s_cells
+        return (plain * 2 + s_cells * (1 + (p - 1))) / cells
+
+
+class _Rdp(CodeModel):
+    def w(self, p: int) -> int:
+        return p - 1
+
+    def encoding_complexity(self, p: int, k: int) -> float:
+        return ((p - 1) * (k - 1) + k * (p - 2)) / (2 * (p - 1))
+
+    def update_complexity(self, p: int, k: int) -> float:
+        # P element + own diagonal Q (unless on the missing diagonal)
+        # + the diagonal Q through the changed P element (unless that
+        # diagonal is the missing one, i.e. row 0 when i-1 wraps).
+        cells = k * (p - 1)
+        total = 0
+        for j in range(k):
+            for i in range(p - 1):
+                n = 1  # P
+                if (i + j) % p != p - 1:
+                    n += 1
+                if (i - 1) % p != p - 1:
+                    n += 1
+                total += n
+        return total / cells
+
+
+class _LiberationOriginal(CodeModel):
+    def w(self, p: int) -> int:
+        return p
+
+    def encoding_complexity(self, p: int, k: int) -> float:
+        # (k-1) + (k-1)/(2p): the dumb bit-matrix count.
+        return (k - 1) + (k - 1) / (2 * p)
+
+    def update_complexity(self, p: int, k: int) -> float:
+        # Every bit touches P and its native anti-diagonal; one bit per
+        # column (except column 0) additionally serves as an extra bit.
+        cells = k * p
+        extra = k - 1
+        return (2 * cells + extra) / cells
+
+
+class _LiberationOptimal(_LiberationOriginal):
+    def encoding_complexity(self, p: int, k: int) -> float:
+        return float(k - 1)  # Algorithm 1 meets the bound exactly
+
+
+EVENODD_MODEL = _EvenOdd("evenodd", "p-1", "k <= p")
+RDP_MODEL = _Rdp("rdp", "p-1", "k <= p-1")
+LIBERATION_ORIGINAL_MODEL = _LiberationOriginal("liberation-original", "p", "k <= p")
+LIBERATION_OPTIMAL_MODEL = _LiberationOptimal("liberation-optimal", "p", "k <= p")
+
+TABLE1_MODELS = (
+    EVENODD_MODEL,
+    RDP_MODEL,
+    LIBERATION_ORIGINAL_MODEL,
+    LIBERATION_OPTIMAL_MODEL,
+)

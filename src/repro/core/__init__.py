@@ -1,0 +1,51 @@
+"""The paper's contribution: optimal Liberation encode/decode.
+
+* :mod:`repro.core.geometry` -- the alternative geometric presentation
+  (anti-diagonals, extra bits, common expressions) of §III-A.
+* :mod:`repro.core.encoder` -- Algorithm 1 (optimal encoding).
+* :mod:`repro.core.starting_point` -- Algorithm 2.
+* :mod:`repro.core.syndromes` -- Algorithm 3.
+* :mod:`repro.core.decoder` -- Algorithm 4 plus the easy erasure cases.
+* :mod:`repro.core.error_correction` -- single-column silent-corruption
+  repair.
+* :mod:`repro.core.cache` -- process-wide schedule memoisation.
+"""
+
+from repro.core.geometry import LiberationGeometry, CommonExpression
+from repro.core.encoder import encode_schedule
+from repro.core.starting_point import (
+    StartingPoint,
+    find_starting_point,
+    choose_starting_point,
+)
+from repro.core.syndromes import syndrome_schedule
+from repro.core.decoder import decode_schedule
+from repro.core.error_correction import (
+    ScanResult,
+    ScanStatus,
+    compute_syndromes,
+    locate_and_correct,
+)
+from repro.core.cache import (
+    cached_encode_schedule,
+    cached_decode_schedule,
+    clear_schedule_caches,
+)
+
+__all__ = [
+    "LiberationGeometry",
+    "CommonExpression",
+    "encode_schedule",
+    "StartingPoint",
+    "find_starting_point",
+    "choose_starting_point",
+    "syndrome_schedule",
+    "decode_schedule",
+    "ScanResult",
+    "ScanStatus",
+    "compute_syndromes",
+    "locate_and_correct",
+    "cached_encode_schedule",
+    "cached_decode_schedule",
+    "clear_schedule_caches",
+]

@@ -1,0 +1,43 @@
+"""Process-wide schedule memoisation.
+
+Schedules are pure functions of ``(p, k, erasure pattern)``; the
+complexity sweeps (Figs. 5-8) and the array simulator rebuild the same
+handful of them constantly.  These wrappers add an LRU layer on top of
+the raw builders in :mod:`repro.core.encoder` / :mod:`repro.core.decoder`.
+
+The throughput benchmarks deliberately do **not** route the baseline
+through this cache: re-deriving the decoding matrix per call is part of
+the original implementation's measured cost (see
+:class:`repro.codes.liberation.LiberationOriginal`).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.decoder import decode_schedule
+from repro.core.encoder import encode_schedule
+from repro.engine import Schedule
+
+__all__ = ["cached_encode_schedule", "cached_decode_schedule", "clear_schedule_caches"]
+
+
+@lru_cache(maxsize=512)
+def cached_encode_schedule(p: int, k: int) -> Schedule:
+    """Memoised :func:`repro.core.encoder.encode_schedule`."""
+    return encode_schedule(p, k)
+
+
+@lru_cache(maxsize=4096)
+def cached_decode_schedule(p: int, k: int, erasures: tuple[int, ...]) -> Schedule:
+    """Memoised :func:`repro.core.decoder.decode_schedule`.
+
+    ``erasures`` must be a (hashable) tuple.
+    """
+    return decode_schedule(p, k, erasures)
+
+
+def clear_schedule_caches() -> None:
+    """Drop all memoised schedules (used by benchmarks between runs)."""
+    cached_encode_schedule.cache_clear()
+    cached_decode_schedule.cache_clear()

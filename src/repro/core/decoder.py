@@ -1,0 +1,220 @@
+"""Algorithm 4 -- optimal Liberation decoding (paper §III-C), plus the
+easy erasure cases.
+
+The hard case is two erased *data* columns ``l < r``.  The decoder:
+
+1. picks the cheaper starting-point orientation via Algorithm 2
+   (possibly exchanging ``l`` and ``r``);
+2. overwrites the dead strips with row / anti-diagonal syndromes via
+   Algorithm 3;
+3. evaluates the starting bit ``b[x, r]`` in place by folding the
+   Algorithm-2 syndrome subsets into its own syndrome cell;
+4. walks the recovery chain: each iteration applies the row constraint
+   to produce a value in column ``l`` and the anti-diagonal constraint
+   to produce the next value in column ``r``, stepping the row by
+   ``delta = r - l (mod p)``.  When the produced value is an *unknown
+   common expression* rather than a bit, it is used twice -- once
+   propagated along the Q chain, once converted to the missing bit by
+   XORing the surviving pair member (the paper's trick 3).
+
+All other erasure patterns reduce to re-encoding or plain
+row/anti-diagonal reconstruction and are handled by
+:func:`decode_schedule`, the single public entry point.
+
+Implementation notes (differences from the paper's listing, which
+implicitly assumes ``k = p``):
+
+* member tests carry the "partner column exists" guard (see
+  :class:`~repro.core.geometry.LiberationGeometry.is_left_member`);
+* all row indices are reduced mod ``p``; ``delta`` may represent a
+  negative ``r - l`` after orientation exchange.
+"""
+
+from __future__ import annotations
+
+from repro.core.geometry import LiberationGeometry
+from repro.core.starting_point import choose_starting_point
+from repro.core.syndromes import syndrome_schedule
+from repro.engine.ops import Schedule
+from repro.utils.validation import check_erasures
+
+__all__ = [
+    "decode_schedule",
+    "two_data_erasures_schedule",
+    "single_data_erasure_schedule",
+    "data_and_p_erasure_schedule",
+    "parity_schedule",
+]
+
+
+def two_data_erasures_schedule(geo: LiberationGeometry, l: int, r: int) -> Schedule:
+    """Algorithm 4: recover two erased data columns."""
+    p, k, mod = geo.p, geo.k, geo.mod
+    sp = choose_starting_point(p, l, r)
+    l, r = sp.l, sp.r  # orientation possibly exchanged (lines 2-5)
+    sched = syndrome_schedule(geo, l, r)  # line 6
+
+    # Lines 7-14: evaluate the starting element b[x, r] in place.  Its
+    # own cell already holds the anti-diagonal syndrome S_{<x-r>}^Q
+    # (guaranteed to be in S^Q), so that term is skipped.
+    delta = mod(r - l)
+    x = sp.x
+    for i in sp.s_q:
+        if mod(i + r) == x:
+            continue
+        sched.accumulate((r, x), (r, mod(i + r)))
+    for i in sp.s_p:
+        sched.accumulate((r, x), (l, i))
+
+    # Lines 15-31: iterative retrieval.
+    m = geo.mod.half_minus
+    last = p - 1
+    for t in range(p):
+        # Line 16: row constraint -> value in column l (bit or unknown
+        # common expression).
+        sched.accumulate((l, x), (r, x))
+        if mod(x + m * r) == last and x != last and delta != 1 and r >= 1:
+            # Lines 17-18: (x, r) is the right member of pair (r-1, r);
+            # the surviving left member was excluded from S_x^P.
+            sched.accumulate((l, x), (r - 1, x))
+        elif mod(x + m * r) == m and x != last and r + 1 <= k - 1:
+            # Lines 19-20: (x, r) holds the unknown common expression of
+            # pair (r, r+1); convert it to the missing bit using the
+            # surviving right member.
+            sched.accumulate((r, x), (r + 1, x))
+        if mod(x + m * l) == last and x != last and l >= 1:
+            # Lines 22-24: (x, l) now holds the unknown common
+            # expression of pair (l-1, l): use it twice -- fold it into
+            # the Q syndrome chain, then convert it to the missing bit
+            # with the surviving left member.
+            sched.accumulate((r, mod(x + 1 + delta)), (l, x))
+            sched.accumulate((l, x), (l - 1, x))
+        if t < p - 1:
+            # Line 26: anti-diagonal constraint -> next value in column r.
+            sched.accumulate((r, mod(x + delta)), (l, x))
+        if mod(x + m * l) == m and x != last and delta != 1 and l + 1 <= k - 1:
+            # Lines 27-28: (x, l) holds the unknown common expression of
+            # pair (l, l+1); convert using the surviving right member.
+            sched.accumulate((l, x), (l + 1, x))
+        x = mod(x + delta)
+    return sched
+
+
+def single_data_erasure_schedule(
+    geo: LiberationGeometry, col: int, *, use_q: bool = False
+) -> Schedule:
+    """Recover one erased data column.
+
+    By default each missing bit is rebuilt from its row constraint
+    (``k-1`` XORs per bit -- optimal).  With ``use_q=True`` (needed when
+    the P strip is also dead) the anti-diagonal constraints are used
+    instead; cells that serve as another constraint's extra bit are
+    recovered first so that every constraint is applied with a single
+    remaining unknown.
+    """
+    p, k, mod = geo.p, geo.k, geo.mod
+    sched = Schedule(geo.n_cols, p)
+    if not use_q:
+        for i in range(p):
+            for j in range(k):
+                if j != col:
+                    sched.xor_into((col, i), (j, i))
+            sched.xor_into((col, i), (geo.p_col, i))
+        return sched
+
+    # Q-based recovery.  Constraint order: the one native to the
+    # column's own extra bit first, then the rest; the constraint whose
+    # *extra* bit lies in `col` is evaluated last, when that cell is
+    # already recovered.
+    extra_cell = geo.extra_bit_of_column(col) if col > 0 else None
+    order = list(range(p))
+    if extra_cell is not None:
+        first_d = geo.anti_diag_of(*extra_cell)  # recovers the extra cell
+        blocked_d = geo.extra_diag_of_column(col)  # needs the extra cell
+        order.remove(first_d)
+        order.remove(blocked_d)
+        order = [first_d] + order + [blocked_d]
+    for d in order:
+        target = (col, mod(d + col))  # the native missing bit of Q_d
+        for (row, j) in geo.q_constraint_cells(d):
+            if j != col:
+                sched.xor_into(target, (j, row))
+            elif (row, j) != (target[1], target[0]):
+                # The column's extra bit participating in Q_d: already
+                # recovered thanks to the constraint ordering.
+                sched.xor_into(target, (col, row))
+        sched.xor_into(target, (geo.q_col, d))
+    return sched
+
+
+def parity_schedule(geo: LiberationGeometry, parities: tuple[int, ...]) -> Schedule:
+    """Re-encode the given parity strips (0 = P, 1 = Q) from full data.
+
+    Uses the common-expression structure of Algorithm 1, restricted to
+    the requested strips; regenerating both is exactly the optimal
+    encoder.
+    """
+    from repro.core.encoder import encode_schedule
+
+    p, k, mod = geo.p, geo.k, geo.mod
+    parities = tuple(sorted(set(parities)))
+    if parities == (0, 1):
+        return encode_schedule(p, k)
+    sched = Schedule(geo.n_cols, p)
+    if parities == (0,):
+        for j in range(k):
+            for i in range(p):
+                sched.xor_into((geo.p_col, i), (j, i))
+    elif parities == (1,):
+        # Common expressions only pay off when shared between P and Q;
+        # rebuilding Q alone costs the plain constraint sum either way.
+        for j in range(k):
+            for i in range(p):
+                sched.xor_into((geo.q_col, mod(i - j)), (j, i))
+        for d in range(p):
+            extra = geo.extra_bit(d)
+            if extra is not None:
+                sched.xor_into((geo.q_col, d), (extra[1], extra[0]))
+    else:
+        raise ValueError(f"invalid parity selection {parities}")
+    return sched
+
+
+def data_and_p_erasure_schedule(geo: LiberationGeometry, col: int) -> Schedule:
+    """Recover an erased data column plus the P strip."""
+    sched = single_data_erasure_schedule(geo, col, use_q=True)
+    sched.extend(parity_schedule(geo, (0,)))
+    return sched
+
+
+def data_and_q_erasure_schedule(geo: LiberationGeometry, col: int) -> Schedule:
+    """Recover an erased data column plus the Q strip."""
+    sched = single_data_erasure_schedule(geo, col, use_q=False)
+    sched.extend(parity_schedule(geo, (1,)))
+    return sched
+
+
+def decode_schedule(p: int, k: int, erasures) -> Schedule:
+    """Build the full recovery schedule for any RAID-6 erasure pattern.
+
+    ``erasures`` lists up to two erased column indices of the
+    ``(k+2)``-column stripe (``k`` = P, ``k+1`` = Q).  Dispatches to the
+    optimal sub-algorithm for the pattern; an empty pattern yields an
+    empty schedule.
+    """
+    geo = LiberationGeometry(p, k)
+    ers = check_erasures(erasures, geo.n_cols)
+    data = [c for c in ers if c < k]
+    parity = tuple(c - k for c in ers if c >= k)
+
+    if not ers:
+        return Schedule(geo.n_cols, p)
+    if not data:
+        return parity_schedule(geo, parity)
+    if len(data) == 2:
+        return two_data_erasures_schedule(geo, data[0], data[1])
+    if not parity:
+        return single_data_erasure_schedule(geo, data[0])
+    if parity == (0,):
+        return data_and_p_erasure_schedule(geo, data[0])
+    return data_and_q_erasure_schedule(geo, data[0])

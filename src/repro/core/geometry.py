@@ -1,0 +1,201 @@
+"""The geometric presentation of Liberation codes (paper §III-A).
+
+A Liberation codeword is a ``p x (p+2)`` bit array (``p`` an odd prime;
+columns ``k..p-1`` are phantom zeros when only ``k`` data disks exist).
+The two parity columns are defined by equations (1)-(2) of the paper:
+
+* **Row parity** ``P_i``: the XOR of all data bits in row ``i``.
+* **Anti-diagonal parity** ``Q_i``: the XOR of the data bits on the
+  anti-diagonal ``{(x, y) : x - y = i (mod p)}``, plus -- for ``i != 0``
+  -- one *extra bit* ``a_i = b[<-i-1>, <-2i>]``, which sits at the
+  intersection of the ``(i-1)``-th anti-diagonal and the ``(p-1)``-th
+  diagonal of slope ``(p-1)/2``.
+
+The key structural fact the optimal algorithms exploit: for each pair of
+adjacent columns ``(j-1, j)`` there is one *common expression*
+``E = b[r, j-1] ^ b[r, j]`` (at row ``r = <(p+1)/2 * j> - 1``) that
+appears in full in both the row-parity constraint ``P_r`` and the
+anti-diagonal constraint ``Q_{p-1-r}``: the left member lies natively on
+that anti-diagonal and the right member is exactly its extra bit.
+Computing ``E`` once and reusing it saves one XOR per column pair in
+both encode and decode.
+
+:class:`LiberationGeometry` packages all of these index computations;
+Algorithms 1-4 are written against it so the index arithmetic lives (and
+is tested) in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.utils.modular import Mod
+from repro.utils.validation import check_prime_p, check_k
+
+__all__ = ["CommonExpression", "LiberationGeometry"]
+
+
+@dataclass(frozen=True)
+class CommonExpression:
+    """The common expression of adjacent columns ``(j-1, j)``.
+
+    ``value = b[row, left_col] ^ b[row, right_col]`` appears in the row
+    constraint ``P_row`` and the anti-diagonal constraint ``Q_q_index``
+    (left member natively, right member as the extra bit).
+    """
+
+    row: int
+    left_col: int
+    right_col: int
+    q_index: int
+
+    @property
+    def left(self) -> tuple[int, int]:
+        """Left member cell ``(row, col)``."""
+        return (self.row, self.left_col)
+
+    @property
+    def right(self) -> tuple[int, int]:
+        """Right member cell ``(row, col)``."""
+        return (self.row, self.right_col)
+
+    @property
+    def p_index(self) -> int:
+        """Index of the row-parity constraint containing this expression."""
+        return self.row
+
+
+class LiberationGeometry:
+    """Index geometry of Liberation(p, k): parities, extras, pairs."""
+
+    def __init__(self, p: int, k: int) -> None:
+        self.p = check_prime_p(p)
+        self.k = check_k(k, self.p, code="liberation")
+        self.mod = Mod(self.p)
+
+    # -- basic constraint geometry -------------------------------------
+
+    def anti_diag_of(self, row: int, col: int) -> int:
+        """Index of the anti-diagonal through cell ``(row, col)``."""
+        return self.mod(row - col)
+
+    def anti_diag_cells(self, d: int) -> list[tuple[int, int]]:
+        """Native data cells of anti-diagonal ``d`` (real columns only)."""
+        return [(self.mod(d + t), t) for t in range(self.k)]
+
+    def row_cells(self, i: int) -> list[tuple[int, int]]:
+        """Data cells of row-parity constraint ``i`` (real columns only)."""
+        return [(i, t) for t in range(self.k)]
+
+    def extra_bit(self, d: int) -> tuple[int, int] | None:
+        """The extra bit ``a_d`` of anti-diagonal constraint ``d``.
+
+        Returns the ``(row, col)`` of the extra data bit, or ``None`` if
+        the constraint has no extra bit (``d = 0``) or the extra bit
+        falls in a phantom column (``col >= k``).
+        """
+        if self.mod(d) == 0:
+            return None
+        cell = (self.mod(-d - 1), self.mod(-2 * d))
+        return cell if cell[1] < self.k else None
+
+    def extra_bit_of_column(self, col: int) -> tuple[int, int] | None:
+        """The (unique) extra-bit cell located in column ``col``.
+
+        Column 0 hosts no extra bit; every other real column hosts
+        exactly one, at row ``<col*(p+1)/2 - 1>`` (serving constraint
+        ``Q_{<-col*(p+1)/2>}``).
+        """
+        if not 0 <= col < self.k:
+            raise IndexError(f"column {col} out of range [0, {self.k})")
+        if col == 0:
+            return None
+        row = self.mod(col * self.mod.half_plus - 1)
+        return (row, col)
+
+    def extra_diag_of_column(self, col: int) -> int | None:
+        """Index ``d`` of the constraint whose extra bit lives in ``col``."""
+        cell = self.extra_bit_of_column(col)
+        if cell is None:
+            return None
+        return self.mod(-cell[0] - 1)
+
+    def q_constraint_cells(self, d: int) -> list[tuple[int, int]]:
+        """All data cells of anti-diagonal constraint ``d`` (incl. extra)."""
+        cells = self.anti_diag_cells(d)
+        extra = self.extra_bit(d)
+        if extra is not None:
+            cells.append(extra)
+        return cells
+
+    # -- common expressions ---------------------------------------------
+
+    def common_expression(self, j: int) -> CommonExpression:
+        """The common expression of column pair ``(j-1, j)``, ``1 <= j <= k-1``.
+
+        Algorithm 1 line 2: its row is ``<(p+1)/2 * j> - 1``; it is
+        shared by ``P_row`` and ``Q_{p-1-row}``.
+        """
+        if not 1 <= j <= self.k - 1:
+            raise IndexError(
+                f"column pair index j={j} out of range [1, {self.k - 1}] "
+                f"for k={self.k}"
+            )
+        row = self.mod(self.mod.half_plus * j) - 1
+        # <x> - 1 with <x> != 0 stays in [0, p-2]; <x> = 0 would need
+        # j = 0 (mod p), impossible for 1 <= j <= p-1.
+        assert row >= 0
+        return CommonExpression(
+            row=row, left_col=j - 1, right_col=j, q_index=self.p - 1 - row
+        )
+
+    @cached_property
+    def common_expressions(self) -> tuple[CommonExpression, ...]:
+        """All ``k-1`` common expressions, indexed by pair ``j-1``."""
+        return tuple(self.common_expression(j) for j in range(1, self.k))
+
+    def is_left_member(self, row: int, col: int) -> bool:
+        """Whether cell ``(row, col)`` is the left member of a pair.
+
+        Matches Algorithm 1 line 8 / Algorithm 3 line 10:
+        ``<row + (p-1)/2 * col> = (p-1)/2`` and ``row != p-1`` -- *plus*
+        the requirement (implicit in the paper, which works on the full
+        ``p``-column array) that the partner column ``col+1`` actually
+        exists, i.e. ``col + 1 <= k - 1``.
+        """
+        if col + 1 > self.k - 1:
+            return False
+        m = self.mod.half_minus
+        return self.mod(row + m * col) == m and row != self.p - 1
+
+    def is_right_member(self, row: int, col: int) -> bool:
+        """Whether cell ``(row, col)`` is the right member of a pair.
+
+        Matches Algorithm 1 line 16 / Algorithm 3 line 17:
+        ``<row + (p-1)/2 * col> = p-1`` and ``row != p-1``.  (For
+        ``col = 0`` the condition can only trigger at ``row = p-1``,
+        which the guard excludes -- column 0 is never a right member.)
+        """
+        m = self.mod.half_minus
+        return self.mod(row + m * col) == self.p - 1 and row != self.p - 1
+
+    # -- convenience -----------------------------------------------------
+
+    @property
+    def n_cols(self) -> int:
+        """Stripe width: ``k`` data columns + P + Q."""
+        return self.k + 2
+
+    @property
+    def p_col(self) -> int:
+        """Stripe column index of the P (row) parity strip."""
+        return self.k
+
+    @property
+    def q_col(self) -> int:
+        """Stripe column index of the Q (anti-diagonal) parity strip."""
+        return self.k + 1
+
+    def __repr__(self) -> str:
+        return f"LiberationGeometry(p={self.p}, k={self.k})"

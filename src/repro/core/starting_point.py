@@ -1,0 +1,105 @@
+"""Algorithm 2 -- finding the starting point (paper §III-C).
+
+With data columns ``l`` and ``r`` erased, the decoder needs one missing
+bit that can be expressed as the XOR of a subset of parity syndromes
+alone.  The anti-diagonal constraints whose extra bit lies in an erased
+column contain *three* unknowns (two natives plus the extra bit); chains
+of constraints that start at the extra bit of one erased column and step
+by ``r - l`` either terminate at the other column's special constraint
+-- yielding a starting point -- or wrap around, in which case the roles
+of ``l`` and ``r`` must be exchanged.
+
+:func:`find_starting_point` is the literal Algorithm 2;
+:func:`choose_starting_point` applies the paper's trick 2 ("there are
+two ways to find a starting point, choose the one with less XOR's") by
+evaluating both orientations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.modular import Mod
+
+__all__ = ["StartingPoint", "find_starting_point", "choose_starting_point"]
+
+
+@dataclass(frozen=True)
+class StartingPoint:
+    """Result of Algorithm 2 for erased data columns ``(l, r)``.
+
+    The missing bit ``b[x, r]`` equals the XOR of the row-parity
+    syndromes with indices in ``s_p`` and the anti-diagonal syndromes
+    with indices in ``s_q``.  ``l``/``r`` record the orientation used
+    (they may be swapped relative to the caller's sorted order).
+    """
+
+    l: int
+    r: int
+    x: int
+    s_p: tuple[int, ...]
+    s_q: tuple[int, ...]
+
+    @property
+    def n_xors(self) -> int:
+        """XORs to evaluate ``b[x, r]`` in place over the syndrome cells.
+
+        The syndrome for the starting cell itself is already stored at
+        ``b[x, r]`` (Algorithm 4 line 9 skips it), so the cost is
+        ``|S_Q| - 1 + |S_P|``.
+        """
+        return len(self.s_q) - 1 + len(self.s_p)
+
+
+def find_starting_point(p: int, l: int, r: int) -> StartingPoint | None:
+    """Literal Algorithm 2.
+
+    Returns ``None`` when the chain wraps without reaching the special
+    constraint of column ``r`` (the paper returns ``x = -1``); callers
+    then retry with ``l`` and ``r`` exchanged.
+
+    The orientation convention follows the paper: the starting point is
+    searched in the *second* argument's column.  ``l = r`` is invalid.
+    """
+    mod = Mod(p)
+    m = mod.half_minus
+    if l == r:
+        raise ValueError("erased columns must be distinct")
+    if r == 0:
+        # Column 0 hosts no extra bit, so the "special" constraint of
+        # the r side does not exist: this orientation cannot seed a
+        # chain (the l = 0 escape in the loop condition exists for the
+        # mirrored reason).  Callers must use the (0, r) orientation.
+        return None
+
+    extra_l = p - 1 - mod(m * l)  # row of column l's extra bit
+    extra_r = p - 1 - mod(m * r)  # row of column r's extra bit
+    special_q_l = mod(extra_l + 1 - l)  # Q constraint w/ 3 unknowns via l
+    special_q_r = mod(extra_r + 1 - r)  # Q constraint w/ 3 unknowns via r
+    cur_q = mod(special_q_r - 1 + (r - l))
+    s_q = [special_q_r]
+    s_p = [extra_r]
+    while (cur_q != special_q_l or l == 0) and cur_q != special_q_r:
+        s_q.append(cur_q)
+        s_p.append(mod(cur_q + r))
+        cur_q = mod(cur_q + (r - l))
+    if cur_q == special_q_r:
+        x = mod(extra_r + 1)
+        return StartingPoint(l=l, r=r, x=x, s_p=tuple(s_p), s_q=tuple(s_q))
+    return None
+
+
+def choose_starting_point(p: int, l: int, r: int) -> StartingPoint:
+    """Best valid starting point over both orientations (trick 2).
+
+    Tries ``(l, r)`` and ``(r, l)``; returns the cheaper valid result
+    (fewest syndrome XORs).  At least one orientation always succeeds
+    for an MDS-decodable pattern; a double failure indicates a logic
+    error and raises.
+    """
+    cands = [sp for sp in (find_starting_point(p, l, r), find_starting_point(p, r, l)) if sp]
+    if not cands:
+        raise RuntimeError(
+            f"Algorithm 2 failed in both orientations for p={p}, l={l}, r={r}"
+        )
+    return min(cands, key=lambda sp: sp.n_xors)

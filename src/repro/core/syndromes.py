@@ -1,0 +1,77 @@
+"""Algorithm 3 -- syndrome computation (paper §III-C).
+
+With data columns ``l`` and ``r`` erased, the decoder overwrites the two
+dead strips with parity syndromes computed from the survivors:
+
+* ``b[i, l]``  <- the ``i``-th *row* syndrome ``S_i^P``;
+* ``b[<i+r>, r]`` <- the ``i``-th *anti-diagonal* syndrome ``S_i^Q``.
+
+Following the paper's (non-standard) definition, a syndrome XORs the
+surviving bits of its constraint **excluding any bit that belongs to an
+unknown common expression** (a pair with at least one member erased);
+those surviving members are consumed later, during iterative retrieval,
+when their pair's value is reconstructed.  Known common expressions
+(pairs entirely within surviving columns) are seeded first and reused by
+both the P and the Q side, exactly as in encoding.
+
+The structure mirrors Algorithm 1; the only differences are the skips
+for erased columns and the final fold-in of the stored P/Q parity
+strips (lines 25-27).
+"""
+
+from __future__ import annotations
+
+from repro.core.geometry import LiberationGeometry
+from repro.engine.ops import Schedule
+
+__all__ = ["syndrome_schedule"]
+
+
+def syndrome_schedule(geo: LiberationGeometry, l: int, r: int) -> Schedule:
+    """Build the syndrome-computation schedule for erased data columns.
+
+    ``l`` receives row syndromes and ``r`` anti-diagonal syndromes; the
+    two may arrive in either order (Algorithm 4 may have exchanged them
+    while searching for a starting point).  The schedule overwrites the
+    erased strips, so it is safe to run on a damaged stripe whose dead
+    columns contain garbage.
+    """
+    p, k, mod = geo.p, geo.k, geo.mod
+    if l == r or not (0 <= l < k and 0 <= r < k):
+        raise ValueError(f"invalid erased data columns l={l}, r={r} for k={k}")
+    erased = {l, r}
+    sched = Schedule(geo.n_cols, p)
+
+    # Lines 1-6: seed the *known* common expressions (pairs untouched
+    # by the erasures) into the row-syndrome cell, mirrored into the
+    # anti-diagonal-syndrome cell with a free copy.
+    for ce in geo.common_expressions:
+        if erased & {ce.left_col, ce.right_col}:
+            continue  # unknown common expression: handled by Algorithm 4
+        sched.copy_cell((l, ce.row), (ce.left_col, ce.row))
+        sched.accumulate((l, ce.row), (ce.right_col, ce.row))
+        sched.copy_cell((r, mod(ce.q_index + r)), (l, ce.row))
+
+    # Lines 7-24: accumulate every surviving data cell into its row and
+    # native anti-diagonal syndromes, with the same member skips as
+    # encoding (left member: both roles; right member: row role only).
+    # Members of unknown pairs are skipped too -- the paper's syndrome
+    # definition excludes them.
+    for j in range(k):
+        if j in erased:
+            continue
+        for i in range(p):
+            if geo.is_left_member(i, j):
+                continue
+            sched.xor_into((r, mod(i - j + r)), (j, i))
+            if geo.is_right_member(i, j):
+                continue
+            sched.xor_into((l, i), (j, i))
+
+    # Lines 25-27: fold in the stored parity strips.  ``xor_into``
+    # degrades to a copy for syndrome cells with no survivor
+    # contributions (e.g. k = 2).
+    for i in range(p):
+        sched.xor_into((l, i), (geo.p_col, i))
+        sched.xor_into((r, i), (geo.q_col, mod(i - r)))
+    return sched

@@ -1,0 +1,288 @@
+"""Schedule execution: bit-level reference and word-level fast paths.
+
+Two executors share one semantics:
+
+* :func:`execute_bits` -- interprets a schedule op-by-op over a
+  ``(cols, rows)`` 0/1 array.  This is the reference implementation used
+  by correctness tests and by anything that wants exact bit semantics.
+
+* :func:`execute_words` / :class:`CompiledSchedule` -- runs the schedule
+  over a stripe of machine-word elements ``buf[cols, rows, words]``.
+  For throughput, schedules are first *compiled*: runs of accumulates
+  into the same destination are fused into a single gather + XOR-reduce
+  so that the NumPy call count scales with the number of destination
+  cells instead of the number of XOR ops (the HPC guides' "vectorise the
+  inner loop" rule).  Fusion is a single program-order pass with
+  read/write hazard tracking, so any legal schedule -- including the
+  decoder's in-place syndrome updates, where a cell is produced, read by
+  another op, and then updated again -- executes identically to the
+  sequential reference.
+
+The XOR *count* of a schedule is a property of the schedule itself
+(``Schedule.n_xors``), never of the execution strategy; compiling for
+speed cannot change the complexity accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.ops import Schedule
+
+__all__ = [
+    "execute_bits",
+    "execute_words",
+    "compile_schedule",
+    "CompiledSchedule",
+    "StreamingSchedule",
+]
+
+
+def execute_bits(schedule: Schedule, bits: np.ndarray) -> np.ndarray:
+    """Run ``schedule`` in place over a ``(cols, rows)`` 0/1 array.
+
+    Returns ``bits`` for convenience.
+    """
+    if bits.shape != (schedule.cols, schedule.rows):
+        raise ValueError(
+            f"bit array shape {bits.shape} does not match schedule "
+            f"({schedule.cols}, {schedule.rows})"
+        )
+    for op in schedule:
+        if op.copy:
+            bits[op.dst_col, op.dst_row] = bits[op.src_col, op.src_row]
+        else:
+            bits[op.dst_col, op.dst_row] ^= bits[op.src_col, op.src_row]
+    return bits
+
+
+@dataclass
+class _Group:
+    """A fused run: ``dst <- (0 | dst) ^ src_0 ^ src_1 ^ ...``."""
+
+    dst: int  # flat cell index (col * rows + row)
+    srcs: list[int]
+    init_copy: bool  # True: first src overwrites dst; False: dst is live
+
+
+class CompiledSchedule:
+    """A schedule lowered to levelized, batched gather/XOR-reduce steps.
+
+    Two-stage lowering:
+
+    1. *Fusion* (:func:`compile_schedule`): runs of accumulates into the
+       same destination become one group ``dst <- (0|dst) ^ xor(srcs)``,
+       ordered so that flush order is equivalent to program order.
+    2. *Levelization* (here): groups are assigned dependency levels
+       (a group must run strictly after any group producing one of its
+       inputs, and after any earlier group reading or writing its
+       destination).  Within a level, groups with the same source count
+       and init mode execute as **one** NumPy call chain -- a 2-D
+       gather, an XOR-reduce over the source axis, and a scatter to the
+       (necessarily distinct) destinations.
+
+    For an encode schedule this collapses thousands of element XORs
+    into ~half a dozen NumPy calls, so measured throughput reflects the
+    schedule's XOR *work* rather than interpreter dispatch overhead --
+    the property the paper's throughput comparison relies on.
+
+    Execution is per-group by default (``batched=False``): each group's
+    gather stays small enough to be cache-resident, which measures
+    faster on every stripe geometry we benchmarked than materialising
+    whole levels (a level-sized gather spills to DRAM and doubles
+    traffic).  The levelized batches remain available for callers that
+    want one-call-per-level execution on very small stripes.
+    """
+
+    def __init__(self, cols: int, rows: int, groups: list[_Group], *, batched: bool = False) -> None:
+        self.cols = cols
+        self.rows = rows
+        self.n_groups = len(groups)
+        self.batched = batched
+        self._groups: list[tuple[int, np.ndarray, bool]] = [
+            (g.dst, np.asarray(g.srcs, dtype=np.intp), g.init_copy) for g in groups
+        ]
+        self._batches = self._levelize(groups) if batched else None
+
+    @staticmethod
+    def _levelize(groups: list[_Group]) -> list[tuple[bool, np.ndarray, np.ndarray]]:
+        """Assign levels, then bucket by (level, n_srcs, init_copy).
+
+        Returns ``(init_copy, dsts[g], srcs[g, m])`` batches in
+        dependency-safe execution order.
+        """
+        write_level: dict[int, int] = {}  # cell -> level of its last writer
+        touch_level: dict[int, int] = {}  # cell -> last level reading/writing it
+        levelled: list[tuple[int, _Group]] = []
+        for g in groups:
+            lvl = 1
+            reads = list(g.srcs) if g.init_copy else [*g.srcs, g.dst]
+            for c in reads:
+                lvl = max(lvl, write_level.get(c, 0) + 1)
+            # WAR/WAW: run after anything that already touched our dst.
+            lvl = max(lvl, touch_level.get(g.dst, 0) + 1)
+            write_level[g.dst] = lvl
+            touch_level[g.dst] = max(touch_level.get(g.dst, 0), lvl)
+            for c in g.srcs:
+                touch_level[c] = max(touch_level.get(c, 0), lvl)
+            levelled.append((lvl, g))
+
+        buckets: dict[tuple[int, int, bool], list[_Group]] = {}
+        for lvl, g in levelled:
+            buckets.setdefault((lvl, len(g.srcs), g.init_copy), []).append(g)
+        batches = []
+        for (lvl, m, init_copy) in sorted(buckets):
+            members = buckets[(lvl, m, init_copy)]
+            dsts = np.array([g.dst for g in members], dtype=np.intp)
+            srcs = np.array([g.srcs for g in members], dtype=np.intp)
+            batches.append((init_copy, dsts, srcs))
+        return batches
+
+    def run(self, buf: np.ndarray) -> np.ndarray:
+        """Execute over ``buf[cols, rows, words]`` (in place)."""
+        if buf.shape[:2] != (self.cols, self.rows):
+            raise ValueError(
+                f"stripe shape {buf.shape[:2]} does not match schedule "
+                f"({self.cols}, {self.rows})"
+            )
+        flat = buf.reshape(self.cols * self.rows, -1)
+        if self._batches is not None:
+            for init_copy, dsts, srcs in self._batches:
+                if srcs.shape[1] == 1:
+                    acc = flat[srcs[:, 0]]
+                else:
+                    acc = np.bitwise_xor.reduce(flat[srcs], axis=1)
+                if init_copy:
+                    flat[dsts] = acc
+                else:
+                    flat[dsts] = flat[dsts] ^ acc
+            return buf
+        for dst, srcs, init_copy in self._groups:
+            if srcs.size == 1:
+                if init_copy:
+                    flat[dst] = flat[srcs[0]]
+                else:
+                    np.bitwise_xor(flat[dst], flat[srcs[0]], out=flat[dst])
+                continue
+            acc = np.bitwise_xor.reduce(flat[srcs], axis=0)
+            if init_copy:
+                flat[dst] = acc
+            else:
+                np.bitwise_xor(flat[dst], acc, out=flat[dst])
+        return buf
+
+
+def compile_schedule(schedule: Schedule) -> CompiledSchedule:
+    """Fuse a schedule into gather/reduce groups (see module docstring).
+
+    Hazard rules enforced during the single program-order pass:
+
+    * before an op *reads* cell ``c``: flush any open group producing
+      ``c`` (read-after-write);
+    * before an op *writes* cell ``c``: flush any open group producing
+      ``c`` that cannot absorb the op, and any open group *reading*
+      ``c`` (write-after-read);
+    * a copy into a destination with an open group starts a fresh group
+      (the old value is dead by definition of copy).
+    """
+    rows = schedule.rows
+    open_groups: dict[int, _Group] = {}  # dst flat index -> group
+    readers: dict[int, set[int]] = {}  # cell -> dsts of open groups reading it
+    order: list[_Group] = []
+
+    def flush(dst: int) -> None:
+        group = open_groups.pop(dst, None)
+        if group is None:
+            return
+        for s in group.srcs:
+            peers = readers.get(s)
+            if peers is not None:
+                peers.discard(dst)
+                if not peers:
+                    del readers[s]
+        order.append(group)
+
+    for op in schedule:
+        dst = op.dst_col * rows + op.dst_row
+        src = op.src_col * rows + op.src_row
+
+        # RAW: the source must be fully produced before we read it.
+        if src in open_groups:
+            flush(src)
+        # WAR: open groups reading `dst` must run before we overwrite it.
+        for reader_dst in tuple(readers.get(dst, ())):
+            if reader_dst != dst:
+                flush(reader_dst)
+
+        group = open_groups.get(dst)
+        if op.copy:
+            if group is not None:
+                # Overwritten before being read by anyone: value is dead,
+                # but flush anyway to keep op-count semantics simple.
+                flush(dst)
+            group = _Group(dst, [src], init_copy=True)
+            open_groups[dst] = group
+        else:
+            if group is None:
+                group = _Group(dst, [src], init_copy=False)
+                open_groups[dst] = group
+            else:
+                group.srcs.append(src)
+        readers.setdefault(src, set()).add(dst)
+
+    for dst in tuple(open_groups):
+        flush(dst)
+    return CompiledSchedule(schedule.cols, schedule.rows, order)
+
+
+class StreamingSchedule:
+    """Op-at-a-time execution, mirroring Jerasure's region operations.
+
+    Jerasure executes a schedule as one ``galois_region_xor`` (or
+    memcpy) per scheduled operation; throughput is therefore
+    proportional to the *operation count* -- which is exactly the
+    quantity the paper's algorithms minimise.  This executor preserves
+    that model: one NumPy XOR/copy over the element per op, no fusion.
+    Use it for paper-faithful throughput comparisons;
+    :class:`CompiledSchedule` is the faster fused engine for production
+    use (where the fusion blurs the algorithms' op-count differences).
+    """
+
+    def __init__(self, schedule: Schedule) -> None:
+        self.cols = schedule.cols
+        self.rows = schedule.rows
+        arr = schedule.to_array()
+        rows = self.rows
+        self._dst = (arr[:, 0] * rows + arr[:, 1]).astype(np.intp)
+        self._src = (arr[:, 2] * rows + arr[:, 3]).astype(np.intp)
+        self._copy = arr[:, 4].astype(bool)
+
+    @property
+    def n_ops(self) -> int:
+        return self._dst.size
+
+    def run(self, buf: np.ndarray) -> np.ndarray:
+        """Execute over ``buf[cols, rows, words]`` (in place)."""
+        if buf.shape[:2] != (self.cols, self.rows):
+            raise ValueError(
+                f"stripe shape {buf.shape[:2]} does not match schedule "
+                f"({self.cols}, {self.rows})"
+            )
+        flat = buf.reshape(self.cols * self.rows, -1)
+        for dst, src, is_copy in zip(self._dst, self._src, self._copy):
+            if is_copy:
+                flat[dst] = flat[src]
+            else:
+                np.bitwise_xor(flat[dst], flat[src], out=flat[dst])
+        return buf
+
+
+def execute_words(schedule: Schedule, buf: np.ndarray) -> np.ndarray:
+    """One-shot compile + run over a word stripe (in place).
+
+    For hot paths, compile once with :func:`compile_schedule` and reuse
+    the :class:`CompiledSchedule`.
+    """
+    return compile_schedule(schedule).run(buf)

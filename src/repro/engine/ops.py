@@ -1,0 +1,194 @@
+"""Schedule data model.
+
+A :class:`Schedule` is an ordered sequence of :class:`XorOp` cell
+operations over a logical stripe of shape ``(cols, rows)``:
+
+* ``dst <- src``          (a *copy*; costs 0 XORs), or
+* ``dst <- dst XOR src``  (an *accumulate*; costs 1 XOR).
+
+This mirrors how Jerasure represents "schedules" and exactly matches the
+paper's XOR accounting: e.g. ``b[0,5] <- b[0,1] ^ b[0,2]`` is recorded as
+a copy followed by one accumulate (1 XOR), and
+``b[4,5] <- b[4,0] ^ ... ^ b[4,4]`` as one copy plus four accumulates
+(4 XORs).  The paper's 40-XOR encode / 39-XOR decode examples for
+``p = 5`` are unit-test oracles over this representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["XorOp", "Schedule"]
+
+
+@dataclass(frozen=True)
+class XorOp:
+    """One cell operation.
+
+    Attributes
+    ----------
+    dst_col, dst_row:
+        Destination cell.
+    src_col, src_row:
+        Source cell.
+    copy:
+        ``True`` for ``dst <- src`` (overwrite), ``False`` for
+        ``dst <- dst ^ src`` (accumulate, costs one XOR).
+    """
+
+    dst_col: int
+    dst_row: int
+    src_col: int
+    src_row: int
+    copy: bool = False
+
+    @property
+    def dst(self) -> tuple[int, int]:
+        return (self.dst_col, self.dst_row)
+
+    @property
+    def src(self) -> tuple[int, int]:
+        return (self.src_col, self.src_row)
+
+    @property
+    def xor_cost(self) -> int:
+        """1 for an accumulate, 0 for a copy (the paper's accounting)."""
+        return 0 if self.copy else 1
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        op = "<-" if self.copy else "^="
+        return (
+            f"b[{self.dst_row},{self.dst_col}] {op} "
+            f"b[{self.src_row},{self.src_col}]"
+        )
+
+
+class Schedule:
+    """An ordered XOR/copy program over a ``(cols, rows)`` stripe.
+
+    The class enforces a *write-before-read discipline for destinations*:
+    the first operation touching a destination cell should normally be a
+    copy (or the caller explicitly zero-initialised it).  Builders use
+    :meth:`xor_into` which turns the first touch of a destination into a
+    copy automatically -- the "has not been accessed" test that appears
+    in the paper's Algorithms 1 and 3.
+    """
+
+    def __init__(self, cols: int, rows: int, ops: Iterable[XorOp] = ()) -> None:
+        if cols <= 0 or rows <= 0:
+            raise ValueError(f"invalid stripe shape ({cols}, {rows})")
+        self.cols = int(cols)
+        self.rows = int(rows)
+        self._ops: list[XorOp] = []
+        self._touched: set[tuple[int, int]] = set()
+        for op in ops:
+            self.append(op)
+
+    # -- construction -------------------------------------------------
+
+    def _check_cell(self, col: int, row: int) -> None:
+        if not (0 <= col < self.cols and 0 <= row < self.rows):
+            raise IndexError(
+                f"cell (col={col}, row={row}) outside stripe "
+                f"({self.cols} cols x {self.rows} rows)"
+            )
+
+    def append(self, op: XorOp) -> None:
+        """Append a pre-built op (validates cell bounds)."""
+        self._check_cell(op.dst_col, op.dst_row)
+        self._check_cell(op.src_col, op.src_row)
+        self._ops.append(op)
+        self._touched.add(op.dst)
+
+    def copy_cell(self, dst: tuple[int, int], src: tuple[int, int]) -> None:
+        """Record ``dst <- src`` (free)."""
+        self.append(XorOp(dst[0], dst[1], src[0], src[1], copy=True))
+
+    def accumulate(self, dst: tuple[int, int], src: tuple[int, int]) -> None:
+        """Record ``dst <- dst ^ src`` (costs 1 XOR)."""
+        self.append(XorOp(dst[0], dst[1], src[0], src[1], copy=False))
+
+    def xor_into(self, dst: tuple[int, int], src: tuple[int, int]) -> None:
+        """Accumulate into ``dst``, or copy if ``dst`` is untouched.
+
+        Implements the paper's "if b has not been accessed" pattern
+        (Algorithm 1 lines 11-14 / 19-22, Algorithm 3 lines 12-15 /
+        18-21): the first contribution to a parity/syndrome cell is a
+        plain assignment and costs no XOR.
+        """
+        if dst in self._touched:
+            self.accumulate(dst, src)
+        else:
+            self.copy_cell(dst, src)
+
+    def touched(self, cell: tuple[int, int]) -> bool:
+        """Whether any earlier op wrote to ``cell``."""
+        return cell in self._touched
+
+    def mark_touched(self, cell: tuple[int, int]) -> None:
+        """Declare that ``cell`` already holds live data.
+
+        Used by decoders for cells that are inputs *and* destinations
+        (e.g. syndrome cells updated in place during retrieval).
+        """
+        self._check_cell(*cell)
+        self._touched.add(cell)
+
+    def extend(self, other: "Schedule") -> None:
+        """Append all of ``other``'s ops (shapes must match)."""
+        if (other.cols, other.rows) != (self.cols, self.rows):
+            raise ValueError("cannot extend schedules of different stripe shapes")
+        for op in other._ops:
+            self.append(op)
+
+    # -- inspection ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self) -> Iterator[XorOp]:
+        return iter(self._ops)
+
+    def __getitem__(self, i: int) -> XorOp:
+        return self._ops[i]
+
+    @property
+    def ops(self) -> Sequence[XorOp]:
+        return tuple(self._ops)
+
+    @property
+    def n_xors(self) -> int:
+        """Total XOR cost (accumulate ops) -- the paper's metric."""
+        return sum(op.xor_cost for op in self._ops)
+
+    @property
+    def n_copies(self) -> int:
+        return len(self._ops) - self.n_xors
+
+    def destinations(self) -> set[tuple[int, int]]:
+        """All cells written by this schedule."""
+        return {op.dst for op in self._ops}
+
+    def to_array(self) -> np.ndarray:
+        """Pack ops as an ``(n, 5)`` int32 array for the fast executors.
+
+        Columns: ``dst_col, dst_row, src_col, src_row, copy_flag``.
+        """
+        if not self._ops:
+            return np.zeros((0, 5), dtype=np.int32)
+        return np.array(
+            [
+                (op.dst_col, op.dst_row, op.src_col, op.src_row, int(op.copy))
+                for op in self._ops
+            ],
+            dtype=np.int32,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Schedule(cols={self.cols}, rows={self.rows}, "
+            f"ops={len(self._ops)}, xors={self.n_xors})"
+        )

@@ -1,0 +1,62 @@
+"""Static schedule verification.
+
+A decode schedule is only correct if it never *reads* an erased cell
+before *writing* it (erased strips hold garbage), and only useful if it
+writes everything it promised.  :func:`verify_schedule` checks those
+structural properties without executing anything; the code classes'
+builders are all validated through it in the test suite, and downstream
+users writing custom schedule generators get the same safety net.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.engine.ops import Schedule
+
+__all__ = ["ScheduleViolation", "verify_schedule"]
+
+
+class ScheduleViolation(AssertionError):
+    """A structural defect in a schedule (with the offending op index)."""
+
+
+def verify_schedule(
+    schedule: Schedule,
+    *,
+    unreadable_cols: Iterable[int] = (),
+    required_dsts: Iterable[tuple[int, int]] | None = None,
+) -> None:
+    """Statically check a schedule's read/write discipline.
+
+    ``unreadable_cols``: columns whose initial contents are garbage
+    (the erasure pattern for a decode schedule).  Any read of such a
+    cell must be preceded by a write to it.
+
+    ``required_dsts``: cells the schedule must write at least once
+    (e.g. every cell of every erased column).
+
+    Raises :class:`ScheduleViolation` with op index/context on failure;
+    returns ``None`` when clean.
+    """
+    unreadable = set(unreadable_cols)
+    written: set[tuple[int, int]] = set()
+    for i, op in enumerate(schedule):
+        if op.src_col in unreadable and op.src not in written:
+            raise ScheduleViolation(
+                f"op {i} ({op}) reads unwritten cell {op.src} of "
+                f"unreadable column {op.src_col}"
+            )
+        if not op.copy and op.dst_col in unreadable and op.dst not in written:
+            raise ScheduleViolation(
+                f"op {i} ({op}) accumulates into unwritten cell {op.dst} "
+                f"of unreadable column {op.dst_col}"
+            )
+        written.add(op.dst)
+    if required_dsts is not None:
+        missing = set(required_dsts) - written
+        if missing:
+            raise ScheduleViolation(
+                f"schedule never writes {len(missing)} required cells, "
+                f"e.g. {sorted(missing)[:4]}"
+            )

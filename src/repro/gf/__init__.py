@@ -1,0 +1,38 @@
+"""Finite-field substrates.
+
+* :mod:`repro.gf.gf2` -- dense GF(2) (bit) matrix algebra used by the
+  Jerasure-style bit-matrix coding path: multiplication, Gaussian
+  inversion, rank.  This is what the *original* Liberation implementation
+  is built on, and what the generic two-erasure decoder uses to derive
+  decoding matrices.
+* :mod:`repro.gf.gf256` -- GF(2^8) table arithmetic used by the
+  Reed-Solomon P+Q reference code (the scheme the Linux kernel RAID-6
+  driver uses), fully vectorised over NumPy arrays.
+"""
+
+from repro.gf.gf2 import (
+    gf2_mul,
+    gf2_matvec,
+    gf2_inverse,
+    gf2_rank,
+    gf2_identity,
+    gf2_is_invertible,
+    gf2_solve,
+)
+from repro.gf.gf256 import GF256
+from repro.gf.gf2w import GF2w, element_bitmatrix
+from repro.gf.ring import PolyRing
+
+__all__ = [
+    "gf2_mul",
+    "gf2_matvec",
+    "gf2_inverse",
+    "gf2_rank",
+    "gf2_identity",
+    "gf2_is_invertible",
+    "gf2_solve",
+    "GF256",
+    "GF2w",
+    "element_bitmatrix",
+    "PolyRing",
+]

@@ -1,0 +1,87 @@
+"""Small-field GF(2^w) arithmetic for Cauchy Reed-Solomon coding.
+
+Cauchy RS (Blaum-Roth '93 construction, as shipped in Jerasure's
+``cauchy.c``) works over GF(2^w) with ``k + m <= 2^w`` and projects
+field elements to ``w x w`` bit-matrices.  ``w`` stays tiny (4 or 8 for
+any realistic RAID-6 group), so full log/antilog tables are the right
+representation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GF2w", "PRIMITIVE_POLYS", "element_bitmatrix"]
+
+#: Standard primitive polynomials (Jerasure/galois.c choices), by w.
+PRIMITIVE_POLYS = {
+    2: 0b111,
+    3: 0b1011,
+    4: 0b10011,
+    5: 0b100101,
+    6: 0b1000011,
+    7: 0b10001001,
+    8: 0b100011101,  # 0x11D
+    9: 0b1000010001,
+    10: 0b10000001001,
+    11: 0b100000000101,
+    12: 0b1000001010011,
+}
+
+
+class GF2w:
+    """GF(2^w), table-based, for small ``w``."""
+
+    def __init__(self, w: int) -> None:
+        if w not in PRIMITIVE_POLYS:
+            raise ValueError(f"unsupported field width w={w}")
+        self.w = w
+        self.size = 1 << w
+        poly = PRIMITIVE_POLYS[w]
+        exp = np.zeros(2 * self.size, dtype=np.int64)
+        log = np.zeros(self.size, dtype=np.int64)
+        x = 1
+        for i in range(self.size - 1):
+            exp[i] = x
+            log[x] = i
+            x <<= 1
+            if x & self.size:
+                x ^= poly
+        if x != 1:
+            raise AssertionError(f"polynomial for w={w} is not primitive")
+        exp[self.size - 1 : 2 * (self.size - 1)] = exp[: self.size - 1]
+        self._exp = exp
+        self._log = log
+
+    def mul(self, a: int, b: int) -> int:
+        if a == 0 or b == 0:
+            return 0
+        return int(self._exp[self._log[a] + self._log[b]])
+
+    def inverse(self, a: int) -> int:
+        if a == 0:
+            raise ZeroDivisionError("0 has no inverse")
+        return int(self._exp[(self.size - 1) - self._log[a]])
+
+    def div(self, a: int, b: int) -> int:
+        return self.mul(a, self.inverse(b))
+
+    def add(self, a: int, b: int) -> int:
+        return a ^ b
+
+
+def element_bitmatrix(gf: GF2w, e: int) -> np.ndarray:
+    """The ``w x w`` GF(2) matrix of multiplication by ``e``.
+
+    Column ``c`` holds the bit representation of ``e * 2^c`` (the image
+    of the ``c``-th basis vector), so ``M @ bits(x) = bits(e * x)`` --
+    the projection that turns a Cauchy matrix over GF(2^w) into an XOR
+    code (Blaum & Roth; Jerasure's ``cauchy.c``).
+    """
+    w = gf.w
+    m = np.zeros((w, w), dtype=np.uint8)
+    for c in range(w):
+        col = gf.mul(e, 1 << c)
+        for r in range(w):
+            m[r, c] = (col >> r) & 1
+    return m

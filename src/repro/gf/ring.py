@@ -1,0 +1,84 @@
+"""The polynomial ring R_p = GF(2)[x] / M_p(x) behind Blaum-Roth codes.
+
+``M_p(x) = 1 + x + ... + x^(p-1)`` for odd prime ``p``; the quotient
+ring has dimension ``w = p - 1`` over GF(2).  Two facts drive
+everything:
+
+* ``x^p = 1`` in R_p (since ``x^p - 1 = (x - 1) M_p(x)``), so powers of
+  ``x`` are indexed mod ``p``;
+* ``x^(p-1) = 1 + x + ... + x^(p-2)`` (directly from ``M_p = 0``).
+
+``1 + x^d`` is invertible for ``1 <= d <= p-1`` (``gcd(1 + x^d, M_p) = 1``
+for prime ``p``), which is exactly what makes the Blaum-Roth generator
+MDS.  Tests verify that invertibility computationally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_prime_p
+
+__all__ = ["PolyRing"]
+
+
+class PolyRing:
+    """GF(2)[x] / M_p(x): vectors of length ``p - 1`` over GF(2)."""
+
+    def __init__(self, p: int) -> None:
+        self.p = check_prime_p(p)
+        self.w = p - 1
+
+    def x_power(self, e: int) -> np.ndarray:
+        """Coefficient vector of ``x^e`` in R_p."""
+        e %= self.p
+        v = np.zeros(self.w, dtype=np.uint8)
+        if e < self.w:
+            v[e] = 1
+        else:  # x^(p-1) = sum of all lower powers
+            v[:] = 1
+        return v
+
+    def mul_by_x(self, v: np.ndarray) -> np.ndarray:
+        """Multiply an element by ``x``."""
+        v = np.asarray(v, dtype=np.uint8)
+        out = np.zeros_like(v)
+        out[1:] = v[:-1]
+        if v[self.w - 1]:  # x * x^(p-2) = x^(p-1) = all-ones
+            out ^= 1
+        return out
+
+    def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Full ring product (used by tests; codes only need x-powers)."""
+        a = np.asarray(a, dtype=np.uint8)
+        acc = np.zeros(self.w, dtype=np.uint8)
+        term = np.array(b, dtype=np.uint8)
+        for c in range(self.w):
+            if a[c]:
+                acc ^= term
+            term = self.mul_by_x(term)
+        return acc
+
+    def power_matrix(self, e: int) -> np.ndarray:
+        """The ``w x w`` GF(2) matrix of multiplication by ``x^e``.
+
+        Column ``c`` is ``x^(e+c)``; with ``x^p = 1`` this is a cyclic
+        structure with one dense (all-ones) column when ``e + c`` wraps
+        onto ``p - 1``.
+        """
+        m = np.zeros((self.w, self.w), dtype=np.uint8)
+        for c in range(self.w):
+            m[:, c] = self.x_power(e + c)
+        return m
+
+    def is_invertible(self, v: np.ndarray) -> bool:
+        """Whether an element is a unit (its multiplication matrix is
+        invertible over GF(2))."""
+        from repro.gf.gf2 import gf2_is_invertible
+
+        m = np.zeros((self.w, self.w), dtype=np.uint8)
+        col = np.array(v, dtype=np.uint8)
+        for c in range(self.w):
+            m[:, c] = col
+            col = self.mul_by_x(col)
+        return gf2_is_invertible(m)

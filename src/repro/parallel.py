@@ -1,0 +1,118 @@
+"""Batch and multi-threaded stripe coding.
+
+Real arrays encode/decode *streams* of stripes, not one; this module
+provides that layer:
+
+* :func:`alloc_batch` / :class:`BatchCoder` -- process ``n`` stripes as
+  one ``(n, cols, rows, words)`` buffer;
+* thread-pool parallelism across stripes: NumPy's XOR kernels release
+  the GIL on the element buffers, so threads scale on multi-core
+  machines without any data copying (each worker owns a contiguous
+  chunk of the batch -- the "parallelise the outer loop over
+  independent work items" idiom).
+
+The coding plans themselves are compiled once and shared read-only
+between threads, so throughput per stripe is identical to the
+single-stripe path; only the outer loop parallelises.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.codes.base import RAID6Code, XorScheduleCode
+from repro.utils.words import WORD_DTYPE, element_words
+
+__all__ = ["alloc_batch", "BatchCoder"]
+
+
+def alloc_batch(code: RAID6Code, n_stripes: int) -> np.ndarray:
+    """A zeroed ``(n_stripes, total_cols, rows, words)`` batch buffer."""
+    if n_stripes <= 0:
+        raise ValueError(f"n_stripes must be positive, got {n_stripes}")
+    return np.zeros(
+        (n_stripes, code.total_cols, code.rows, element_words(code.element_size)),
+        dtype=WORD_DTYPE,
+    )
+
+
+class BatchCoder:
+    """Encode/decode many stripes, optionally across threads.
+
+    ``workers = 1`` (default) runs serially; ``workers = n`` splits the
+    batch into ``n`` contiguous chunks processed concurrently.  Results
+    are bit-identical regardless of ``workers`` (asserted by the test
+    suite), because stripes are independent.
+    """
+
+    def __init__(self, code: RAID6Code, *, workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.code = code
+        self.workers = int(workers)
+
+    # -- internals ---------------------------------------------------------
+
+    def _check_batch(self, batch: np.ndarray) -> None:
+        code = self.code
+        expected = (code.total_cols, code.rows, element_words(code.element_size))
+        if batch.ndim != 4 or batch.shape[1:] != expected:
+            raise ValueError(
+                f"batch shape {batch.shape} does not match (n, {expected})"
+            )
+
+    def _run(self, batch: np.ndarray, fn) -> np.ndarray:
+        n = batch.shape[0]
+        if self.workers == 1 or n == 1:
+            for i in range(n):
+                fn(batch[i])
+            return batch
+        bounds = np.linspace(0, n, self.workers + 1, dtype=int)
+
+        def work(chunk):
+            for i in range(*chunk):
+                fn(batch[i])
+
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            futures = [
+                pool.submit(work, (int(a), int(b)))
+                for a, b in zip(bounds[:-1], bounds[1:])
+                if a < b
+            ]
+            for f in futures:
+                f.result()  # propagate exceptions
+        return batch
+
+    def _warm_plans(self, erasures=None) -> None:
+        """Compile plans before threads share them."""
+        code = self.code
+        if isinstance(code, XorScheduleCode):
+            if erasures is None:
+                code.encode_schedule()
+                if code._encode_plan is None:
+                    code._encode_plan = code._compile(code.encode_schedule())
+            elif code.cache_decode_plans:
+                scratch = code.alloc_stripe()
+                code.decode(scratch, list(erasures))
+
+    # -- public API -------------------------------------------------------------
+
+    def encode(self, batch: np.ndarray) -> np.ndarray:
+        """Fill parity columns of every stripe in the batch, in place."""
+        self._check_batch(batch)
+        self._warm_plans()
+        return self._run(batch, self.code.encode)
+
+    def decode(self, batch: np.ndarray, erasures: Sequence[int]) -> np.ndarray:
+        """Recover the same erasure pattern in every stripe, in place.
+
+        (Bulk reconstruction after a disk failure is exactly this
+        shape: one pattern, many stripes.)
+        """
+        self._check_batch(batch)
+        ers = list(erasures)
+        self._warm_plans(ers)
+        return self._run(batch, lambda stripe: self.code.decode(stripe, ers))

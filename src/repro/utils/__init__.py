@@ -1,0 +1,50 @@
+"""Shared low-level utilities for the Liberation-codes reproduction.
+
+This subpackage contains the small, dependency-free building blocks used
+throughout the library:
+
+* :mod:`repro.utils.primes` -- primality testing and prime selection for
+  the ``p`` parameter of array codes.
+* :mod:`repro.utils.modular` -- mod-``p`` index arithmetic matching the
+  paper's :math:`\\langle x \\rangle = x \\bmod p` notation.
+* :mod:`repro.utils.words` -- element/word buffer helpers used by the
+  word-level XOR engine.
+* :mod:`repro.utils.validation` -- argument validation with consistent
+  error messages.
+"""
+
+from repro.utils.primes import is_prime, is_odd_prime, next_prime, primes_up_to
+from repro.utils.modular import Mod, mod_inverse
+from repro.utils.words import (
+    WORD_BYTES,
+    WORD_DTYPE,
+    bytes_to_words,
+    words_to_bytes,
+    element_words,
+    random_words,
+)
+from repro.utils.validation import (
+    check_prime_p,
+    check_k,
+    check_element_size,
+    check_erasures,
+)
+
+__all__ = [
+    "is_prime",
+    "is_odd_prime",
+    "next_prime",
+    "primes_up_to",
+    "Mod",
+    "mod_inverse",
+    "WORD_BYTES",
+    "WORD_DTYPE",
+    "bytes_to_words",
+    "words_to_bytes",
+    "element_words",
+    "random_words",
+    "check_prime_p",
+    "check_k",
+    "check_element_size",
+    "check_erasures",
+]

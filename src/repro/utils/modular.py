@@ -1,0 +1,69 @@
+"""Mod-``p`` index arithmetic.
+
+The paper writes :math:`\\langle x \\rangle` for ``x mod p`` and all of
+Algorithms 1-4 are expressed in that notation.  Python's ``%`` already
+returns the mathematical (non-negative) residue for negative operands, so
+the helpers here exist mainly to make the algorithm transcriptions read
+like the paper and to centralise a couple of derived quantities
+(``(p-1)/2`` and ``(p+1)/2`` appear constantly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Mod", "mod_inverse"]
+
+
+def mod_inverse(a: int, p: int) -> int:
+    """Multiplicative inverse of ``a`` modulo prime ``p``.
+
+    Used by the geometric analysis (solving for diagonal intersections)
+    and by tests that verify extra-bit placement.
+
+    >>> mod_inverse(3, 7)
+    5
+    """
+    a %= p
+    if a == 0:
+        raise ZeroDivisionError(f"0 has no inverse mod {p}")
+    # Fermat: a^(p-2) mod p.  p is tiny, pow() is exact.
+    return pow(a, p - 2, p)
+
+
+@dataclass(frozen=True)
+class Mod:
+    """Index arithmetic helper bound to a fixed odd prime ``p``.
+
+    Provides the paper's :math:`\\langle\\cdot\\rangle` operator together
+    with the two half-constants used by the Liberation geometry:
+
+    * ``half_minus`` = ``(p-1)/2`` -- the slope constant of the diagonal
+      that carries the extra bits.
+    * ``half_plus`` = ``(p+1)/2`` -- the multiplier locating common
+      expressions (Algorithm 1, line 2).
+    """
+
+    p: int
+
+    def __post_init__(self) -> None:
+        if self.p < 3 or self.p % 2 == 0:
+            raise ValueError(f"p must be an odd integer >= 3, got {self.p}")
+
+    @property
+    def half_minus(self) -> int:
+        """``(p - 1) // 2``."""
+        return (self.p - 1) // 2
+
+    @property
+    def half_plus(self) -> int:
+        """``(p + 1) // 2``."""
+        return (self.p + 1) // 2
+
+    def __call__(self, x: int) -> int:
+        """The paper's :math:`\\langle x \\rangle = x \\bmod p`."""
+        return x % self.p
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse mod ``p`` (requires prime ``p``)."""
+        return mod_inverse(a, self.p)

@@ -1,0 +1,98 @@
+"""Primality utilities.
+
+Liberation codes (like EVENODD and RDP) are parameterised by an odd prime
+``p``.  RAID-6 deployments either pick the smallest prime that fits the
+number of data disks (paper §III, "Case (a): p varying with k") or fix a
+sufficiently large prime once (Case (b), the paper uses ``p = 31``).
+
+These helpers are deliberately simple deterministic routines: the primes
+used by array codes are tiny (``p <= a few hundred``), so trial division
+is both the fastest and the most obviously-correct choice.
+"""
+
+from __future__ import annotations
+
+__all__ = ["is_prime", "is_odd_prime", "next_prime", "primes_up_to", "prime_for_k"]
+
+
+def is_prime(n: int) -> bool:
+    """Return ``True`` iff ``n`` is a prime number.
+
+    Deterministic trial division by 2, 3 and ``6m +/- 1`` candidates;
+    exact for all integer inputs.
+
+    >>> [x for x in range(20) if is_prime(x)]
+    [2, 3, 5, 7, 11, 13, 17, 19]
+    """
+    n = int(n)
+    if n < 2:
+        return False
+    if n < 4:
+        return True
+    if n % 2 == 0 or n % 3 == 0:
+        return False
+    f = 5
+    while f * f <= n:
+        if n % f == 0 or n % (f + 2) == 0:
+            return False
+        f += 6
+    return True
+
+
+def is_odd_prime(n: int) -> bool:
+    """Return ``True`` iff ``n`` is an *odd* prime (a valid Liberation ``p``)."""
+    return n != 2 and is_prime(n)
+
+
+def next_prime(n: int, *, odd: bool = True) -> int:
+    """Return the smallest prime ``>= n``.
+
+    With ``odd=True`` (the default) the result is the smallest *odd*
+    prime ``>= n``, which is what array codes need (``p = 2`` is never a
+    valid Liberation/EVENODD/RDP parameter).
+
+    >>> next_prime(2)
+    3
+    >>> next_prime(8)
+    11
+    >>> next_prime(11)
+    11
+    """
+    n = max(int(n), 2)
+    while not is_prime(n) or (odd and n == 2):
+        n += 1
+    return n
+
+
+def primes_up_to(limit: int) -> list[int]:
+    """Return all primes ``<= limit`` (ascending), via a sieve.
+
+    >>> primes_up_to(12)
+    [2, 3, 5, 7, 11]
+    """
+    limit = int(limit)
+    if limit < 2:
+        return []
+    sieve = bytearray([1]) * (limit + 1)
+    sieve[0] = sieve[1] = 0
+    p = 2
+    while p * p <= limit:
+        if sieve[p]:
+            sieve[p * p :: p] = bytearray(len(sieve[p * p :: p]))
+        p += 1
+    return [i for i, flag in enumerate(sieve) if flag]
+
+
+def prime_for_k(k: int) -> int:
+    """Smallest valid Liberation prime for ``k`` data disks (``p >= k``).
+
+    The paper's "p varying with k" configuration (Figs. 5, 7, 10, 12):
+    the column size is minimised by choosing the first odd prime that is
+    ``>= k``.
+
+    >>> [prime_for_k(k) for k in (2, 3, 4, 5, 6, 7, 8)]
+    [3, 3, 5, 5, 7, 7, 11]
+    """
+    if k < 2:
+        raise ValueError(f"RAID-6 needs at least 2 data disks, got k={k}")
+    return next_prime(k)

@@ -1,0 +1,70 @@
+"""Argument validation shared by the code implementations.
+
+All the RAID-6 codes in this library validate their parameters through
+these helpers so that error messages are uniform and the (easy to get
+subtly wrong) constraints live in exactly one place:
+
+* ``p`` must be an odd prime (Liberation/EVENODD/RDP).
+* ``k`` is bounded by a per-code maximum (``p`` for Liberation/EVENODD,
+  ``p - 1`` for RDP, 255 for GF(2^8) Reed-Solomon).
+* erasure lists must name distinct, in-range columns, and at most two of
+  them (RAID-6 tolerates exactly two arbitrary column failures).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.utils.primes import is_odd_prime
+from repro.utils.words import WORD_BYTES
+
+__all__ = ["check_prime_p", "check_k", "check_element_size", "check_erasures"]
+
+
+def check_prime_p(p: int) -> int:
+    """Validate the prime parameter ``p`` of an array code."""
+    p = int(p)
+    if not is_odd_prime(p):
+        raise ValueError(f"p must be an odd prime, got {p}")
+    return p
+
+
+def check_k(k: int, k_max: int, *, code: str = "code") -> int:
+    """Validate a data-disk count ``k`` against a code's maximum."""
+    k = int(k)
+    if k < 2:
+        raise ValueError(f"{code}: RAID-6 needs at least k=2 data disks, got {k}")
+    if k > k_max:
+        raise ValueError(f"{code}: k={k} exceeds the maximum {k_max} for this code")
+    return k
+
+
+def check_element_size(element_size: int) -> int:
+    """Validate an element size in bytes (positive multiple of the word)."""
+    element_size = int(element_size)
+    if element_size <= 0 or element_size % WORD_BYTES:
+        raise ValueError(
+            f"element_size must be a positive multiple of {WORD_BYTES}, "
+            f"got {element_size}"
+        )
+    return element_size
+
+
+def check_erasures(erasures: Sequence[int], n_cols: int) -> tuple[int, ...]:
+    """Validate and canonicalise an erasure list.
+
+    Returns the erased column indices as a sorted tuple.  RAID-6 codes
+    can recover from at most two erased columns; zero or one erasures are
+    also legal inputs (the decoders handle them as easy cases).
+    """
+    ers = sorted(int(e) for e in erasures)
+    if len(set(ers)) != len(ers):
+        raise ValueError(f"duplicate erased columns in {list(erasures)!r}")
+    if len(ers) > 2:
+        raise ValueError(
+            f"RAID-6 tolerates at most 2 erasures, got {len(ers)}: {ers}"
+        )
+    for e in ers:
+        if not 0 <= e < n_cols:
+            raise ValueError(f"erased column {e} out of range [0, {n_cols})")
+    return tuple(ers)

@@ -1,0 +1,79 @@
+"""Machine-word buffer helpers.
+
+The paper (§II-A) encodes stripes as two-dimensional arrays of *elements*,
+each element being a multiple of the machine word size; XORs are performed
+on whole machine words so that (with 64-bit words) 64 interleaved
+codewords are encoded/decoded in parallel.
+
+We mirror that layout: a strip element is a contiguous ``uint64`` vector
+of ``element_size / 8`` words, and a stripe is a C-contiguous NumPy array
+``buf[cols, rows, words]``.  Keeping the word axis innermost makes every
+element XOR a contiguous streaming operation (cache-friendly, per the
+HPC guides: prefer contiguous access and in-place ops).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "WORD_BYTES",
+    "WORD_DTYPE",
+    "element_words",
+    "bytes_to_words",
+    "words_to_bytes",
+    "random_words",
+    "alloc_stripe",
+]
+
+#: Machine word used by the XOR engine (8 bytes = 64 interleaved codewords).
+WORD_DTYPE = np.dtype(np.uint64)
+WORD_BYTES = WORD_DTYPE.itemsize
+
+
+def element_words(element_size: int) -> int:
+    """Number of machine words in one element of ``element_size`` bytes.
+
+    ``element_size`` must be a positive multiple of the word size
+    (paper §II-A: "the element size is restricted to be a multiple of
+    the machine's word size").
+    """
+    if element_size <= 0 or element_size % WORD_BYTES:
+        raise ValueError(
+            f"element_size must be a positive multiple of {WORD_BYTES} bytes, "
+            f"got {element_size}"
+        )
+    return element_size // WORD_BYTES
+
+
+def bytes_to_words(data: bytes | bytearray | memoryview) -> np.ndarray:
+    """View/copy a byte string as a ``uint64`` word vector.
+
+    The length must be a multiple of the word size; use padding at a
+    higher layer if arbitrary lengths are required (``repro.array``
+    handles that for user I/O).
+    """
+    buf = np.frombuffer(bytes(data), dtype=np.uint8)
+    if buf.size % WORD_BYTES:
+        raise ValueError(
+            f"byte length {buf.size} is not a multiple of the "
+            f"{WORD_BYTES}-byte machine word"
+        )
+    return buf.view(WORD_DTYPE).copy()
+
+
+def words_to_bytes(words: np.ndarray) -> bytes:
+    """Inverse of :func:`bytes_to_words`."""
+    arr = np.ascontiguousarray(words, dtype=WORD_DTYPE)
+    return arr.tobytes()
+
+
+def random_words(shape: tuple[int, ...] | int, seed: int | None = None) -> np.ndarray:
+    """Random ``uint64`` array -- test/benchmark payload generator."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2**64, size=shape, dtype=WORD_DTYPE)
+
+
+def alloc_stripe(cols: int, rows: int, element_size: int) -> np.ndarray:
+    """Allocate a zeroed C-contiguous stripe ``buf[cols, rows, words]``."""
+    return np.zeros((cols, rows, element_words(element_size)), dtype=WORD_DTYPE)

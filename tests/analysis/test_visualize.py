@@ -1,0 +1,97 @@
+"""Tests for the constraint-grid renderer and schedule statistics."""
+
+import pytest
+
+from repro.analysis.visualize import (
+    ScheduleStats,
+    constraint_grid,
+    erasure_grid,
+    schedule_stats,
+)
+from repro.core import LiberationGeometry, decode_schedule, encode_schedule
+from repro.engine.ops import Schedule
+
+
+class TestConstraintGrid:
+    def test_reproduces_paper_figure2(self):
+        """Cell-for-cell against the paper's Fig. 2 (p = 5)."""
+        grid = constraint_grid(LiberationGeometry(5, 5))
+        rows = [line.split() for line in grid.strip().splitlines()[1:]]
+        cells = [r[1:6] for r in rows]  # drop row index, P, Q columns
+        assert cells == [
+            ["1A", "1E", "1DE", "1C", "1B"],
+            ["2B", "2A", "2E", "2D", "2CD"],
+            ["3C", "3BC", "3A", "3E", "3D"],
+            ["4D", "4C", "4B", "4AB", "4E"],
+            ["5E", "5D", "5C", "5B", "5A"],
+        ]
+
+    def test_parity_columns_rendered(self):
+        grid = constraint_grid(LiberationGeometry(5, 5))
+        last_line = grid.strip().splitlines()[-1].split()
+        assert last_line[-2:] == ["5", "E"]
+
+    def test_k_less_than_p(self):
+        grid = constraint_grid(LiberationGeometry(7, 3))
+        rows = grid.strip().splitlines()[1:]
+        assert len(rows) == 7
+        assert all(len(r.split()) == 1 + 3 + 2 for r in rows)
+
+    def test_large_p_rejected(self):
+        with pytest.raises(ValueError):
+            constraint_grid(LiberationGeometry(29, 4))
+
+
+class TestErasureGrid:
+    def test_erased_data_columns_crossed(self):
+        grid = erasure_grid(LiberationGeometry(5, 5), [1, 3])
+        for line in grid.strip().splitlines()[1:]:
+            parts = line.split()
+            assert set(parts[2]) == {"x"}
+            assert set(parts[4]) == {"x"}
+            assert "x" not in parts[1]
+
+    def test_erased_parity_crossed(self):
+        geo = LiberationGeometry(5, 5)
+        grid = erasure_grid(geo, [geo.p_col, geo.q_col])
+        for line in grid.strip().splitlines()[1:]:
+            parts = line.split()
+            assert parts[-1] == "x" and parts[-2] == "x"
+
+
+class TestScheduleStats:
+    def test_counts_match_schedule(self):
+        sched = encode_schedule(5, 5)
+        stats = schedule_stats(sched)
+        assert stats.ops == len(sched)
+        assert stats.xors == sched.n_xors == 40
+        assert stats.copies == sched.n_copies
+        assert stats.destinations == 10
+
+    def test_encode_is_shallow_decode_is_deep(self):
+        """Encoding is embarrassingly parallel; the decode chain's
+        sequential retrieval makes it much deeper."""
+        enc = schedule_stats(encode_schedule(11, 11))
+        dec = schedule_stats(decode_schedule(11, 11, [2, 7]))
+        assert dec.depth > 2 * enc.depth
+        assert enc.parallelism > dec.parallelism
+
+    def test_depth_of_pure_chain(self):
+        s = Schedule(2, 4)
+        s.copy_cell((1, 0), (0, 0))
+        s.accumulate((1, 0), (0, 1))
+        s.accumulate((1, 0), (0, 2))
+        stats = schedule_stats(s)
+        assert stats.depth == 3 and stats.width == 1
+
+    def test_width_of_independent_ops(self):
+        s = Schedule(2, 4)
+        for i in range(4):
+            s.copy_cell((1, i), (0, i))
+        stats = schedule_stats(s)
+        assert stats.depth == 1 and stats.width == 4
+
+    def test_empty_schedule(self):
+        stats = schedule_stats(Schedule(2, 2))
+        assert stats == ScheduleStats(0, 0, 0, 0, 0, 0)
+        assert stats.parallelism == 0.0

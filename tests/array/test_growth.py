@@ -1,0 +1,123 @@
+"""Tests for online capacity growth (the paper's scalability story)."""
+
+import numpy as np
+import pytest
+
+from repro.array import ArrayDegradedError, RAID6Array
+from repro.array.workloads import payload, sequential_fill
+from repro.codes import make_code
+
+
+def filled_array(name="liberation-optimal", k=4, p=11, n_stripes=6, **kw):
+    code = make_code(name, k, p=p, element_size=16, **kw)
+    arr = RAID6Array(code, n_stripes=n_stripes)
+    data = b""
+    for op in sequential_fill(arr.capacity, arr.layout.stripe_data_bytes, seed=2):
+        arr.write(op.offset, op.data)
+        data += op.data
+    return arr, data
+
+
+class TestWithK:
+    @pytest.mark.parametrize(
+        "name,p", [("liberation-optimal", 11), ("evenodd", 11), ("rdp", 11)]
+    )
+    def test_zero_column_leaves_parity_unchanged(self, name, p, random_words):
+        """The structural fact growth relies on."""
+        small = make_code(name, 4, p=p, element_size=16)
+        big = small.with_k(5)
+        buf_s = small.alloc_stripe()
+        buf_s[:4] = random_words(buf_s[:4].shape)
+        small.encode(buf_s)
+        buf_b = big.alloc_stripe()
+        buf_b[:4] = buf_s[:4]  # column 4 stays zero
+        big.encode(buf_b)
+        assert np.array_equal(buf_b[big.p_col], buf_s[small.p_col])
+        assert np.array_equal(buf_b[big.q_col], buf_s[small.q_col])
+
+    def test_geometry_preserved(self):
+        code = make_code("liberation-optimal", 4, p=11, element_size=4096)
+        grown = code.with_k(7)
+        assert grown.p == 11 and grown.rows == code.rows
+        assert grown.element_size == 4096
+
+    def test_reed_solomon_with_k(self, random_words):
+        small = make_code("reed-solomon", 4, rows=3, element_size=16)
+        big = small.with_k(5)
+        buf_s = small.alloc_stripe()
+        buf_s[:4] = random_words(buf_s[:4].shape)
+        small.encode(buf_s)
+        buf_b = big.alloc_stripe()
+        buf_b[:4] = buf_s[:4]
+        big.encode(buf_b)
+        assert np.array_equal(buf_b[big.p_col], buf_s[small.p_col])
+        assert np.array_equal(buf_b[big.q_col], buf_s[small.q_col])
+
+    def test_liberation_cannot_exceed_p(self):
+        code = make_code("liberation-optimal", 5, p=5)
+        with pytest.raises(ValueError):
+            code.with_k(6)
+
+
+class TestGrowDataDisk:
+    def test_data_preserved_via_translation(self):
+        arr, data = filled_array()
+        old_sdb = arr.layout.stripe_data_bytes
+        translate = arr.grow_data_disk()
+        for stripe in range(arr.layout.n_stripes):
+            old_off = stripe * old_sdb
+            assert arr.read(translate(old_off), old_sdb) == data[old_off : old_off + old_sdb]
+
+    def test_no_parity_recompute(self):
+        """Parity strips after growth are byte-identical to before --
+        growth never ran the encoder."""
+        arr, _ = filled_array()
+        before = [
+            arr.read_stripe(s)[[arr.code.p_col, arr.code.q_col]].copy()
+            for s in range(arr.layout.n_stripes)
+        ]
+        arr.grow_data_disk()
+        for s, old_parity in enumerate(before):
+            buf = arr.read_stripe(s)
+            assert np.array_equal(buf[arr.code.p_col], old_parity[0])
+            assert np.array_equal(buf[arr.code.q_col], old_parity[1])
+
+    def test_grown_array_fully_functional(self):
+        arr, data = filled_array()
+        translate = arr.grow_data_disk()
+        # Parity still consistent...
+        for s in range(arr.layout.n_stripes):
+            assert arr.code.verify(arr.read_stripe(s))
+        # ... new capacity writable ...
+        extra = payload(64, seed=5)
+        new_region = arr.layout.stripe_data_bytes - 64  # tail of stripe 0
+        arr.write(new_region, extra)
+        assert arr.read(new_region, 64) == extra
+        # ... and still doubly fault tolerant.
+        arr.fail_disk(0)
+        arr.fail_disk(arr.code.k + 1)  # the freshly added disk's id may differ; any two
+        old_sdb = 4 * arr.code.strip_bytes
+        assert arr.read(translate(0), old_sdb) == data[:old_sdb]
+        arr.rebuild()
+        assert arr.read(translate(0), old_sdb) == data[:old_sdb]
+
+    def test_repeated_growth_up_to_limit(self):
+        arr, data = filled_array(k=4, p=7)
+        arr.grow_data_disk()  # 5
+        arr.grow_data_disk()  # 6
+        arr.grow_data_disk()  # 7 = p
+        assert arr.code.k == 7
+        with pytest.raises(ValueError):
+            arr.grow_data_disk()  # k = 8 > p
+
+    def test_requires_healthy_array(self):
+        arr, _ = filled_array()
+        arr.fail_disk(1)
+        with pytest.raises(ArrayDegradedError):
+            arr.grow_data_disk()
+
+    def test_capacity_increases(self):
+        arr, _ = filled_array(k=4, p=11)
+        before = arr.capacity
+        arr.grow_data_disk()
+        assert arr.capacity == before * 5 // 4

@@ -1,0 +1,92 @@
+"""Tests for the rotating-parity stripe layout."""
+
+import pytest
+
+from repro.array.layout import StripeLayout
+
+
+@pytest.fixture
+def layout():
+    return StripeLayout(k=4, rows=5, element_size=16, n_stripes=8)
+
+
+class TestRotation:
+    def test_stripe0_identity(self, layout):
+        for col in range(6):
+            assert layout.disk_for(0, col) == col
+
+    def test_rotation_shifts_per_stripe(self, layout):
+        assert layout.disk_for(1, 0) == 1
+        assert layout.disk_for(5, 4) == (4 + 5) % 6
+
+    def test_round_trip(self, layout):
+        for stripe in range(8):
+            for disk in range(6):
+                col = layout.column_for(stripe, disk)
+                assert layout.disk_for(stripe, col) == disk
+
+    def test_parity_visits_every_disk(self, layout):
+        p_disks = {layout.disk_for(s, 4) for s in range(6)}
+        q_disks = {layout.disk_for(s, 5) for s in range(6)}
+        assert p_disks == set(range(6))
+        assert q_disks == set(range(6))
+
+    def test_bounds(self, layout):
+        with pytest.raises(IndexError):
+            layout.disk_for(0, 6)
+        with pytest.raises(IndexError):
+            layout.column_for(0, 6)
+
+
+class TestCapacity:
+    def test_stripe_data_bytes(self, layout):
+        assert layout.stripe_data_bytes == 4 * 5 * 16
+
+    def test_capacity(self, layout):
+        assert layout.capacity_bytes == 8 * 320
+
+    def test_n_elements(self, layout):
+        assert layout.n_elements() == 8 * 4 * 5
+
+
+class TestElementAddressing:
+    def test_column_major_fill(self, layout):
+        a0 = layout.element_address(0)
+        assert (a0.stripe, a0.column, a0.row) == (0, 0, 0)
+        a5 = layout.element_address(5)  # first element of column 1
+        assert (a5.stripe, a5.column, a5.row) == (0, 1, 0)
+        a20 = layout.element_address(20)  # next stripe
+        assert (a20.stripe, a20.column, a20.row) == (1, 0, 0)
+
+    def test_disk_follows_rotation(self, layout):
+        a = layout.element_address(20)
+        assert a.disk == layout.disk_for(1, 0)
+
+    def test_bounds(self, layout):
+        with pytest.raises(IndexError):
+            layout.element_address(layout.n_elements())
+
+
+class TestByteRanges:
+    def test_aligned_single_element(self, layout):
+        pieces = layout.byte_range_elements(16, 16)
+        assert len(pieces) == 1
+        addr, lo, hi = pieces[0]
+        assert (lo, hi) == (0, 16)
+        assert (addr.column, addr.row) == (0, 1)
+
+    def test_unaligned_span(self, layout):
+        pieces = layout.byte_range_elements(10, 20)
+        assert [(lo, hi) for (_a, lo, hi) in pieces] == [(10, 16), (0, 14)]
+
+    def test_total_length_preserved(self, layout):
+        pieces = layout.byte_range_elements(7, 100)
+        assert sum(hi - lo for (_a, lo, hi) in pieces) == 100
+
+    def test_out_of_capacity(self, layout):
+        with pytest.raises(ValueError):
+            layout.byte_range_elements(layout.capacity_bytes - 8, 16)
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            StripeLayout(0, 5, 16, 8)

@@ -1,0 +1,68 @@
+"""Tests for workload generators."""
+
+import pytest
+
+from repro.array.workloads import (
+    oltp_mix,
+    payload,
+    random_small_writes,
+    sequential_fill,
+)
+
+
+class TestPayload:
+    def test_deterministic(self):
+        assert payload(64, 1) == payload(64, 1)
+        assert payload(64, 1) != payload(64, 2)
+
+    def test_length(self):
+        assert len(payload(123, 0)) == 123
+
+
+class TestSequentialFill:
+    def test_covers_capacity(self):
+        ops = list(sequential_fill(1000, 100))
+        assert len(ops) == 10
+        assert [op.offset for op in ops] == list(range(0, 1000, 100))
+        assert all(len(op.data) == 100 for op in ops)
+
+    def test_partial_tail_dropped(self):
+        ops = list(sequential_fill(1050, 100))
+        assert len(ops) == 10  # only whole stripes
+
+
+class TestRandomSmallWrites:
+    def test_count_and_alignment(self):
+        ops = list(random_small_writes(1024, 16, 20, seed=1))
+        assert len(ops) == 20
+        for op in ops:
+            assert op.offset % 16 == 0
+            assert op.offset + 16 <= 1024
+            assert len(op.data) == 16
+
+    def test_seed_reproducible(self):
+        a = [(o.offset, o.data) for o in random_small_writes(1024, 16, 10, seed=2)]
+        b = [(o.offset, o.data) for o in random_small_writes(1024, 16, 10, seed=2)]
+        assert a == b
+
+
+class TestOltpMix:
+    def test_mixture_proportion(self):
+        ops = list(
+            oltp_mix(10_000, 1000, 8, 300, small_fraction=0.8, seed=3)
+        )
+        smalls = sum(1 for op in ops if len(op.data) == 8)
+        assert len(ops) == 300
+        assert 0.7 < smalls / 300 < 0.9
+
+    def test_all_small(self):
+        ops = list(oltp_mix(10_000, 1000, 8, 50, small_fraction=1.0, seed=4))
+        assert all(len(op.data) == 8 for op in ops)
+
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError):
+            list(oltp_mix(1000, 100, 8, 1, small_fraction=1.5))
+
+    def test_offsets_in_capacity(self):
+        for op in oltp_mix(10_000, 1000, 8, 200, seed=5):
+            assert 0 <= op.offset and op.offset + len(op.data) <= 10_000

@@ -1,0 +1,117 @@
+"""Tests for the complexity experiment harness (Figs. 5-8, Table I)."""
+
+import pytest
+
+from repro.bench.complexity import (
+    FIG5_CODES,
+    all_data_pairs,
+    decoding_complexity_point,
+    decoding_complexity_series,
+    encoding_complexity_point,
+    encoding_complexity_series,
+    table1_rows,
+)
+
+
+class TestPoints:
+    def test_optimal_encoding_always_one(self):
+        for k in (2, 5, 10, 16):
+            assert encoding_complexity_point("liberation-optimal", k) == pytest.approx(1.0)
+
+    def test_original_encoding_above_one(self):
+        assert encoding_complexity_point("liberation-original", 8) > 1.0
+
+    def test_decoding_point_with_subset(self):
+        full = decoding_complexity_point("liberation-optimal", 8)
+        sub = decoding_complexity_point(
+            "liberation-optimal", 8, pairs=all_data_pairs(8)[:5]
+        )
+        assert 0.9 < sub / full < 1.1
+
+    def test_all_data_pairs_count(self):
+        assert len(all_data_pairs(6)) == 15
+
+
+class TestFig5Series:
+    """The Fig. 5 shape: optimal at 1.0, original above, EVENODD worst
+    at small k, RDP at 1.0 when k = p-1."""
+
+    def test_rows_and_columns(self):
+        rows = encoding_complexity_series([4, 6, 10])
+        assert [r["k"] for r in rows] == [4, 6, 10]
+        for name in FIG5_CODES:
+            assert all(name in r for r in rows)
+
+    def test_optimal_flat_at_bound(self):
+        rows = encoding_complexity_series([2, 6, 12, 18])
+        assert all(r["liberation-optimal"] == pytest.approx(1.0) for r in rows)
+
+    def test_ordering_matches_paper(self):
+        for row in encoding_complexity_series([4, 8, 14]):
+            assert row["liberation-optimal"] <= row["rdp"] + 1e-9
+            assert row["liberation-optimal"] < row["liberation-original"]
+            assert row["liberation-original"] < row["evenodd"]
+
+    def test_rdp_optimal_at_its_sweet_spot(self):
+        # k = 4 -> p = 5 = k+1: RDP encodes optimally.
+        row = encoding_complexity_series([4])[0]
+        assert row["rdp"] == pytest.approx(1.0)
+
+
+class TestFig6Series:
+    def test_fixed_p_scalability_story(self):
+        """Fig. 6: at p=31, EVENODD/RDP degrade as k shrinks; the two
+        Liberation curves stay flat."""
+        rows = encoding_complexity_series([4, 10, 16, 22], p=31)
+        evenodd = [r["evenodd"] for r in rows]
+        rdp = [r["rdp"] for r in rows]
+        assert evenodd[0] > evenodd[-1]  # worse at small k
+        assert rdp[0] > rdp[-1]
+        lib = [r["liberation-original"] for r in rows]
+        assert max(lib) - min(lib) < 0.001  # flat
+        opt = [r["liberation-optimal"] for r in rows]
+        assert all(v == pytest.approx(1.0) for v in opt)
+
+    def test_rdp_excluded_at_k_eq_p(self):
+        rows = encoding_complexity_series([31], p=31)
+        assert rows[0]["rdp"] is None
+        assert rows[0]["evenodd"] == pytest.approx(1 + 0.5 / 30 - 0.5 / (30 * 30))
+
+
+class TestFig7And8Series:
+    def test_decode_reduction_band(self):
+        rows = decoding_complexity_series([8, 12], max_pairs=12)
+        for row in rows:
+            orig = row["liberation-original"]
+            opt = row["liberation-optimal"]
+            assert 0.10 < 1 - opt / orig < 0.25
+
+    def test_optimal_near_bound_p31(self):
+        rows = decoding_complexity_series([14, 20], p=31, max_pairs=10)
+        for row in rows:
+            assert row["liberation-optimal"] < 1.05
+
+    def test_max_pairs_subsampling(self):
+        rows = decoding_complexity_series([10], max_pairs=5)
+        assert rows[0]["liberation-optimal"] > 0
+
+
+class TestTable1:
+    def test_structure(self):
+        rows = table1_rows(k=6)
+        names = [r["code"] for r in rows]
+        assert names[-1] == "lower-bound"
+        assert set(names[:-1]) == set(FIG5_CODES)
+
+    def test_bound_row_dominates(self):
+        rows = table1_rows(k=6)
+        bound = rows[-1]
+        for r in rows[:-1]:
+            assert r["encoding"] >= bound["encoding"] - 1e-9
+            assert r["decoding"] >= bound["decoding"] - 1e-9
+            assert r["update"] >= bound["update"] - 1e-9
+
+    def test_liberation_optimal_meets_encode_bound(self):
+        rows = {r["code"]: r for r in table1_rows(k=6)}
+        assert rows["liberation-optimal"]["encoding"] == pytest.approx(5.0)
+        assert rows["liberation-optimal"]["update"] < rows["evenodd"]["update"]

@@ -1,0 +1,37 @@
+"""Tests for series rendering and persistence."""
+
+from repro.bench.report import format_table, results_dir, save_series
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        rows = [{"k": 2, "x": 1.0}, {"k": 10, "x": 0.5}]
+        out = format_table(rows, title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].split() == ["k", "x"]
+        assert "1.0000" in out and "0.5000" in out
+
+    def test_none_rendered_as_dash(self):
+        out = format_table([{"k": 2, "x": None}])
+        assert "-" in out.splitlines()[-1]
+
+    def test_empty_rows(self):
+        assert format_table([], title="hi") == "hi\n"
+        assert format_table([]) == ""
+
+    def test_wide_values_widen_columns(self):
+        rows = [{"name": "liberation-optimal", "v": 1}]
+        header, sep, row = format_table(rows).splitlines()
+        assert len(header) == len(row)
+
+
+class TestSaveSeries:
+    def test_writes_file(self, tmp_path):
+        path = save_series("fig_test", [{"k": 1, "v": 2.0}], base=tmp_path)
+        assert path.read_text().startswith("k")
+        assert path.parent == tmp_path
+
+    def test_results_dir_created(self, tmp_path):
+        d = results_dir(tmp_path / "nested" / "results")
+        assert d.is_dir()

@@ -1,0 +1,108 @@
+"""Tests for generator bit-matrix construction."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.bitmatrix.builder import (
+    bitmatrix_from_parity_cells,
+    full_generator,
+    liberation_bitmatrix,
+    liberation_parity_cells,
+)
+from repro.gf.gf2 import gf2_rank
+from repro.utils.modular import Mod
+
+
+class TestLiberationParityCells:
+    def test_row_constraints_cover_rows(self):
+        p_rows, _ = liberation_parity_cells(5, 5)
+        for i, cells in enumerate(p_rows):
+            assert cells == [(i, t) for t in range(5)]
+
+    def test_q_constraint_native_cells(self):
+        mod = Mod(5)
+        _, q_rows = liberation_parity_cells(5, 5)
+        for i, cells in enumerate(q_rows):
+            native = cells[:5]
+            assert native == [(mod(i + t), t) for t in range(5)]
+
+    def test_extra_bits_match_figure2(self):
+        """Fig. 2 (p=5): extras of B,C,D,E at (3,3),(2,1),(1,4),(0,2)."""
+        _, q_rows = liberation_parity_cells(5, 5)
+        extras = {i: q_rows[i][5:] for i in range(5)}
+        assert extras[0] == []  # Q_0 (A) has no extra bit
+        assert extras[1] == [(3, 3)]
+        assert extras[2] == [(2, 1)]
+        assert extras[3] == [(1, 4)]
+        assert extras[4] == [(0, 2)]
+
+    def test_phantom_columns_dropped(self):
+        p_rows, q_rows = liberation_parity_cells(7, 3)
+        for cells in itertools.chain(p_rows, q_rows):
+            assert all(col < 3 for (_row, col) in cells)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            liberation_parity_cells(9, 3)  # 9 not prime
+        with pytest.raises(ValueError):
+            liberation_parity_cells(5, 6)  # k > p
+
+
+class TestBitmatrixAssembly:
+    def test_shape(self):
+        assert liberation_bitmatrix(7, 4).shape == (14, 28)
+
+    def test_row_parity_block_structure(self):
+        g = liberation_bitmatrix(5, 3)
+        # P rows: identity block per data column.
+        for j in range(3):
+            block = g[:5, j * 5 : (j + 1) * 5]
+            assert np.array_equal(block, np.eye(5, dtype=np.uint8))
+
+    def test_q_block_column0_is_identity(self):
+        g = liberation_bitmatrix(5, 5)
+        assert np.array_equal(g[5:, :5], np.eye(5, dtype=np.uint8))
+
+    def test_q_blocks_have_one_extra_one(self):
+        g = liberation_bitmatrix(7, 7)
+        for j in range(1, 7):
+            block = g[7:, j * 7 : (j + 1) * 7]
+            assert block.sum() == 8  # shifted identity + one extra bit
+
+    def test_from_parity_cells_round_trip(self):
+        p_rows, q_rows = liberation_parity_cells(5, 4)
+        g = bitmatrix_from_parity_cells(p_rows, q_rows, 5, 4)
+        assert np.array_equal(g, liberation_bitmatrix(5, 4))
+
+
+class TestMDSProperty:
+    """Any two column erasures must leave a full-rank system -- the
+    defining property the bitmatrix decoder depends on."""
+
+    @pytest.mark.parametrize("p,k", [(3, 2), (3, 3), (5, 4), (5, 5), (7, 5), (7, 7), (11, 8)])
+    def test_all_double_erasures_recoverable(self, p, k):
+        g = liberation_bitmatrix(p, k)
+        full = full_generator(g, p, k)
+        n = k + 2
+        for ers in itertools.combinations(range(n), 2):
+            rows = []
+            for col in range(n):
+                if col in ers:
+                    continue
+                rows.append(full[col * p : (col + 1) * p])
+            stacked = np.vstack(rows)
+            assert gf2_rank(stacked) == k * p, (p, k, ers)
+
+    def test_full_generator_shape_check(self):
+        g = liberation_bitmatrix(5, 3)
+        with pytest.raises(ValueError):
+            full_generator(g, 5, 4)
+
+    def test_full_generator_layout(self):
+        g = liberation_bitmatrix(5, 3)
+        full = full_generator(g, 5, 3)
+        assert full.shape == (25, 15)
+        assert np.array_equal(full[:15], np.eye(15, dtype=np.uint8))
+        assert np.array_equal(full[15:], g)

@@ -1,0 +1,127 @@
+"""Tests for the Cauchy Reed-Solomon XOR code."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.bitmatrix.cauchy import (
+    cauchy_bitmatrix,
+    cauchy_good_matrix,
+    cauchy_original_matrix,
+    min_w_for,
+)
+from repro.codes import CauchyRSCode, make_code
+from repro.gf.gf2w import GF2w
+from repro.gf.gf2 import gf2_rank
+
+
+class TestMatrixConstruction:
+    def test_min_w(self):
+        assert min_w_for(2) == 2
+        assert min_w_for(6) == 3
+        assert min_w_for(14) == 4
+        assert min_w_for(30) == 5
+        with pytest.raises(ValueError):
+            min_w_for(5000)
+
+    def test_original_entries(self):
+        gf = GF2w(3)
+        m = cauchy_original_matrix(gf, 4, 2)
+        for i in range(2):
+            for j in range(4):
+                assert gf.mul(int(m[i, j]), i ^ (2 + j)) == 1
+
+    def test_field_too_small(self):
+        with pytest.raises(ValueError):
+            cauchy_original_matrix(GF2w(2), 4, 2)
+
+    def test_good_matrix_row0_all_ones(self):
+        gf = GF2w(4)
+        m = cauchy_good_matrix(gf, 8, 2)
+        assert (m[0] == 1).all()
+
+    def test_good_matrix_has_fewer_ones(self):
+        gf = GF2w(4)
+        orig = cauchy_bitmatrix(gf, cauchy_original_matrix(gf, 8, 2))
+        good = cauchy_bitmatrix(gf, cauchy_good_matrix(gf, 8, 2))
+        assert good.sum() < orig.sum()
+
+    @pytest.mark.parametrize("k,w", [(4, 3), (8, 4), (12, 4)])
+    def test_mds_property(self, k, w):
+        """Every 2x2 submatrix of the field matrix must be invertible,
+        equivalently every double-erasure system has full GF(2) rank."""
+        from repro.bitmatrix.builder import full_generator
+
+        gf = GF2w(w)
+        g = cauchy_bitmatrix(gf, cauchy_good_matrix(gf, k, 2))
+        full = full_generator(g, w, k)
+        for ers in itertools.combinations(range(k + 2), 2):
+            rows = np.vstack(
+                [full[c * w : (c + 1) * w] for c in range(k + 2) if c not in ers]
+            )
+            assert gf2_rank(rows) == k * w, ers
+
+
+class TestCodeBehaviour:
+    @pytest.mark.parametrize("good", [True, False])
+    @pytest.mark.parametrize("k", [3, 6, 10])
+    def test_exhaustive_decode(self, good, k, random_words, rng):
+        code = CauchyRSCode(k, good=good, element_size=16)
+        buf = code.alloc_stripe()
+        buf[:k] = random_words(buf[:k].shape)
+        code.encode(buf)
+        ref = buf.copy()
+        for pat in [(c,) for c in range(k + 2)] + list(
+            itertools.combinations(range(k + 2), 2)
+        ):
+            dmg = ref.copy()
+            for c in pat:
+                dmg[c] = rng.integers(0, 2**64, dmg[c].shape, dtype=np.uint64)
+            code.decode(dmg, list(pat))
+            assert np.array_equal(dmg[: k + 2], ref[: k + 2]), pat
+
+    def test_good_p_row_is_raid5_parity(self, random_words):
+        """The good matrix's first parity strip is plain XOR parity --
+        P+Q compliance."""
+        code = CauchyRSCode(6, element_size=16)
+        buf = code.alloc_stripe()
+        buf[:6] = random_words(buf[:6].shape)
+        code.encode(buf)
+        expect = np.bitwise_xor.reduce(buf[:6], axis=0)
+        assert np.array_equal(buf[code.p_col], expect)
+
+    def test_good_encoding_cheaper(self):
+        good = CauchyRSCode(8, good=True)
+        orig = CauchyRSCode(8, good=False)
+        assert good.encoding_xors() < orig.encoding_xors()
+
+    def test_far_above_liberation(self):
+        """The motivation for array codes: Cauchy's Q is expensive."""
+        k = 10
+        cauchy = CauchyRSCode(k)
+        lib = make_code("liberation-optimal", k)
+        assert cauchy.encoding_complexity() > 1.2 * lib.encoding_complexity()
+
+    def test_update_consistency(self, random_words):
+        code = CauchyRSCode(5, element_size=16)
+        buf = code.alloc_stripe()
+        buf[:5] = random_words(buf[:5].shape)
+        code.encode(buf)
+        for col in range(5):
+            n = code.update(buf, col, 0, random_words(buf[col, 0].shape))
+            assert n >= 2
+        assert code.verify(buf)
+
+    def test_with_k(self, random_words):
+        code = CauchyRSCode(4, w=4, element_size=16)
+        grown = code.with_k(6)
+        assert grown.w == 4 and grown.rows == code.rows
+
+    def test_registry_names(self):
+        assert make_code("cauchy-rs", 4).good is True
+        assert make_code("cauchy-rs-original", 4).good is False
+
+    def test_k_limit_for_w(self):
+        with pytest.raises(ValueError):
+            CauchyRSCode(7, w=3)  # 7 + 2 > 8

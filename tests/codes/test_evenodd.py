@@ -1,0 +1,121 @@
+"""Tests specific to the EVENODD implementation."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.codes import EvenOddCode
+from repro.codes.theory import EVENODD_MODEL
+
+
+def direct_encode(code, bits):
+    """Reference encoder straight from the Blaum et al. definitions."""
+    p, k, mod = code.p, code.k, code.mod
+    out = bits.copy()
+    s = 0
+    for j in range(1, k):
+        i = (p - 1 - j) % p
+        if i != p - 1:
+            s ^= int(bits[j, i])
+    for i in range(p - 1):
+        acc = 0
+        for j in range(k):
+            acc ^= int(bits[j, i])
+        out[code.p_col, i] = acc
+    for d in range(p - 1):
+        acc = s
+        for j in range(k):
+            i = mod(d - j)
+            if i != p - 1:
+                acc ^= int(bits[j, i])
+        out[code.q_col, d] = acc
+    return out
+
+
+class TestEncoding:
+    @pytest.mark.parametrize("p,k", [(3, 2), (5, 3), (5, 5), (7, 7), (11, 8)])
+    def test_matches_textbook_definition(self, p, k, random_bits):
+        code = EvenOddCode(k, p=p)
+        bits = random_bits(code.total_cols, code.rows)
+        expect = direct_encode(code, bits)
+        got = bits.copy()
+        code.encode_bits(got)
+        assert np.array_equal(got[: k + 2], expect[: k + 2])
+
+    @pytest.mark.parametrize("p,k", [(5, 4), (7, 7), (11, 8), (31, 23)])
+    def test_xor_count_closed_form(self, p, k):
+        code = EvenOddCode(k, p=p)
+        assert code.encoding_xors() == (p - 1) * (2 * k - 1) - 1
+        assert code.encoding_complexity() == pytest.approx(
+            EVENODD_MODEL.encoding_complexity(p, k)
+        )
+
+    def test_rows_is_p_minus_1(self):
+        assert EvenOddCode(4, p=5).rows == 4
+
+    def test_k_up_to_p(self):
+        EvenOddCode(5, p=5)  # k = p is legal for EVENODD
+        with pytest.raises(ValueError):
+            EvenOddCode(6, p=5)
+
+
+class TestDecoding:
+    @pytest.mark.parametrize("p,k", [(5, 5), (7, 4), (11, 11)])
+    def test_two_chain_structure_covers_all_pairs(self, p, k, random_bits, rng):
+        code = EvenOddCode(k, p=p)
+        bits = random_bits(code.total_cols, code.rows)
+        code.encode_bits(bits)
+        for l, r in itertools.combinations(range(k), 2):
+            dmg = bits.copy()
+            dmg[l, :] = rng.integers(0, 2, code.rows)
+            dmg[r, :] = rng.integers(0, 2, code.rows)
+            code.decode_bits(dmg, [l, r])
+            assert np.array_equal(dmg[: k + 2], bits[: k + 2]), (l, r)
+
+    def test_decode_complexity_near_k_per_bit(self):
+        """Table I: EVENODD decode ~= k XORs per missing bit."""
+        p = k = 11
+        code = EvenOddCode(k, p=p)
+        pairs = list(itertools.combinations(range(k), 2))
+        avg = sum(code.decoding_xors(pr) for pr in pairs) / len(pairs)
+        per_bit = avg / (2 * code.rows)
+        assert k - 1 < per_bit < k + 1.5
+
+    def test_scratch_column_used_only_by_decode(self):
+        code = EvenOddCode(5, p=7)
+        enc_cols = {c for (c, _r) in code.encode_schedule().destinations()}
+        assert code.n_cols not in enc_cols
+        dec = code.build_decode_schedule((0, 2))
+        dec_cols = {c for (c, _r) in dec.destinations()}
+        assert code.n_cols in dec_cols  # the S adjuster home
+
+
+class TestUpdate:
+    def test_adjuster_diagonal_fans_out(self, random_words):
+        """A write on the S diagonal must touch every Q element."""
+        p, k = 7, 7
+        code = EvenOddCode(k, p=p, element_size=8)
+        buf = code.alloc_stripe()
+        buf[:k] = random_words(buf[:k].shape)
+        code.encode(buf)
+        # Cell (p-1-j, j) is on the adjuster diagonal for j >= 1.
+        j = 3
+        row = p - 1 - j
+        n = code.update(buf, j, row, random_words(buf[j, row].shape))
+        assert n == 1 + (p - 1)
+        assert code.verify(buf)
+
+    def test_average_near_three(self, random_words):
+        code = EvenOddCode(10, p=11, element_size=8)
+        buf = code.alloc_stripe()
+        buf[:10] = random_words(buf[:10].shape)
+        code.encode(buf)
+        total = sum(
+            code.update(buf, c, r, random_words(buf[c, r].shape))
+            for c in range(10)
+            for r in range(code.rows)
+        )
+        avg = total / (10 * code.rows)
+        assert avg == pytest.approx(EVENODD_MODEL.update_complexity(11, 10))
+        assert 2.5 < avg < 3.2

@@ -1,0 +1,137 @@
+"""Tests specific to the Liberation code classes."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.codes import LiberationOptimal, LiberationOriginal
+
+
+class TestParameterisation:
+    def test_default_p_is_minimal(self):
+        assert LiberationOptimal(6).p == 7
+        assert LiberationOptimal(11).p == 11
+
+    def test_explicit_p(self):
+        assert LiberationOptimal(6, p=31).p == 31
+
+    def test_invalid_p_or_k(self):
+        with pytest.raises(ValueError):
+            LiberationOptimal(4, p=9)
+        with pytest.raises(ValueError):
+            LiberationOptimal(8, p=7)
+
+    def test_rows_equal_p(self):
+        assert LiberationOptimal(4, p=5).rows == 5
+
+
+class TestVariantsAreTheSameCode:
+    """Optimal and original must produce identical codewords."""
+
+    @pytest.mark.parametrize("p,k", [(5, 5), (7, 4), (11, 11), (13, 8)])
+    def test_identical_parity(self, p, k, random_words):
+        opt = LiberationOptimal(k, p=p, element_size=16)
+        orig = LiberationOriginal(k, p=p, element_size=16)
+        a = opt.alloc_stripe()
+        a[:k] = random_words(a[:k].shape)
+        b = a.copy()
+        opt.encode(a)
+        orig.encode(b)
+        assert np.array_equal(a[: k + 2], b[: k + 2])
+
+    def test_cross_decode(self, random_words, rng):
+        """A stripe encoded by one variant decodes with the other."""
+        p, k = 7, 6
+        opt = LiberationOptimal(k, p=p, element_size=16)
+        orig = LiberationOriginal(k, p=p, element_size=16)
+        buf = opt.alloc_stripe()
+        buf[:k] = random_words(buf[:k].shape)
+        opt.encode(buf)
+        ref = buf.copy()
+        buf[2] = rng.integers(0, 2**64, buf[2].shape, dtype=np.uint64)
+        buf[4] = rng.integers(0, 2**64, buf[4].shape, dtype=np.uint64)
+        orig.decode(buf, [2, 4])
+        assert np.array_equal(buf[: k + 2], ref[: k + 2])
+
+
+class TestComplexityHeadlines:
+    def test_optimal_encode_at_bound_for_all_k(self):
+        for p in (5, 7, 11, 13):
+            for k in range(2, p + 1):
+                code = LiberationOptimal(k, p=p)
+                assert code.encoding_complexity() == pytest.approx(k - 1)
+
+    def test_original_encode_table1_formula(self):
+        for p, k in [(5, 5), (11, 7), (31, 23)]:
+            code = LiberationOriginal(k, p=p)
+            assert code.encoding_complexity() == pytest.approx(
+                (k - 1) + (k - 1) / (2 * p)
+            )
+
+    def test_decode_reduction_15_to_20_percent(self):
+        """The abstract's claim (15~20%), exhaustive over all pairs."""
+        for p, k in [(11, 11), (13, 13)]:
+            pairs = list(itertools.combinations(range(k), 2))
+            opt = LiberationOptimal(k, p=p)
+            orig = LiberationOriginal(k, p=p)
+            o = sum(opt.decoding_xors(pr) for pr in pairs)
+            g = sum(orig.decoding_xors(pr) for pr in pairs)
+            assert 0.13 <= 1 - o / g <= 0.22, (p, k, 1 - o / g)
+
+    def test_scalability_flat_encode_curve(self):
+        """Fig. 6: with p fixed the optimal curve is exactly flat at 1.0
+        and the original is flat at 1 + 1/(2p)."""
+        p = 31
+        opt_norm = {
+            k: LiberationOptimal(k, p=p).encoding_complexity() / (k - 1)
+            for k in (2, 10, 23)
+        }
+        assert all(v == pytest.approx(1.0) for v in opt_norm.values())
+        orig_norm = {
+            k: LiberationOriginal(k, p=p).encoding_complexity() / (k - 1)
+            for k in (2, 10, 23)
+        }
+        assert all(v == pytest.approx(1 + 1 / 62) for v in orig_norm.values())
+
+
+class TestUpdate:
+    def test_touch_counts(self, random_words):
+        code = LiberationOptimal(5, p=5, element_size=16)
+        buf = code.alloc_stripe()
+        buf[:5] = random_words(buf[:5].shape)
+        code.encode(buf)
+        geo = code.geometry
+        for col in range(5):
+            for row in range(5):
+                n = code.update(buf, col, row, random_words(buf[col, row].shape))
+                expect = 3 if geo.extra_bit_of_column(col) == (row, col) else 2
+                assert n == expect, (col, row)
+        assert code.verify(buf)
+
+    def test_average_near_two(self, random_words):
+        """Table I: Liberation update complexity ~= 2 (+ (k-1)/kp)."""
+        code = LiberationOptimal(10, p=11, element_size=8)
+        buf = code.alloc_stripe()
+        buf[:10] = random_words(buf[:10].shape)
+        code.encode(buf)
+        total = sum(
+            code.update(buf, c, r, random_words(buf[c, r].shape))
+            for c in range(10)
+            for r in range(11)
+        )
+        avg = total / 110
+        assert avg == pytest.approx(2 + 9 / 110)
+
+
+class TestOriginalVariants:
+    def test_dumb_decode_is_worse(self):
+        p, k = 7, 7
+        smart = LiberationOriginal(k, p=p, smart=True)
+        dumb = LiberationOriginal(k, p=p, smart=False)
+        pair = (1, 4)
+        assert dumb.decoding_xors(pair) > smart.decoding_xors(pair)
+
+    def test_generator_cached(self):
+        code = LiberationOriginal(4, p=5)
+        assert code.generator is code.generator

@@ -1,0 +1,138 @@
+"""Tests specific to the RDP implementation."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.codes import RDPCode
+from repro.codes.theory import RDP_MODEL
+
+
+def direct_encode(code, bits):
+    """Reference encoder from the FAST'04 definitions."""
+    p, k, mod = code.p, code.k, code.mod
+    out = bits.copy()
+    for i in range(p - 1):
+        acc = 0
+        for j in range(k):
+            acc ^= int(bits[j, i])
+        out[code.p_col, i] = acc
+    for d in range(p - 1):
+        acc = 0
+        for j in range(k):  # data members
+            i = mod(d - j)
+            if i != p - 1:
+                acc ^= int(bits[j, i])
+        i = mod(d + 1)  # P member at logical position p-1
+        if i != p - 1:
+            acc ^= int(out[code.p_col, i])
+        out[code.q_col, d] = acc
+    return out
+
+
+class TestEncoding:
+    @pytest.mark.parametrize("p,k", [(3, 2), (5, 3), (5, 4), (7, 6), (11, 10)])
+    def test_matches_textbook_definition(self, p, k, random_bits):
+        code = RDPCode(k, p=p)
+        bits = random_bits(code.total_cols, code.rows)
+        expect = direct_encode(code, bits)
+        got = bits.copy()
+        code.encode_bits(got)
+        assert np.array_equal(got[: k + 2], expect[: k + 2])
+
+    @pytest.mark.parametrize("p,k", [(5, 4), (7, 6), (11, 8), (31, 23)])
+    def test_xor_count_closed_form(self, p, k):
+        code = RDPCode(k, p=p)
+        assert code.encoding_xors() == (p - 1) * (k - 1) + k * (p - 2)
+        assert code.encoding_complexity() == pytest.approx(
+            RDP_MODEL.encoding_complexity(p, k)
+        )
+
+    def test_optimal_exactly_at_k_equals_p_minus_1(self):
+        for p in (5, 7, 11, 17):
+            code = RDPCode(p - 1, p=p)
+            assert code.encoding_complexity() == pytest.approx(p - 2)
+
+    def test_k_at_most_p_minus_1(self):
+        with pytest.raises(ValueError):
+            RDPCode(5, p=5)
+
+    def test_default_p(self):
+        assert RDPCode(4).p == 5
+        assert RDPCode(6).p == 7  # smallest odd prime >= k+1
+        assert RDPCode(7).p == 11
+
+
+class TestDecoding:
+    @pytest.mark.parametrize("p,k", [(5, 4), (7, 6), (11, 10), (11, 5)])
+    def test_all_two_data_pairs(self, p, k, random_bits, rng):
+        code = RDPCode(k, p=p)
+        bits = random_bits(code.total_cols, code.rows)
+        code.encode_bits(bits)
+        for l, r in itertools.combinations(range(k), 2):
+            dmg = bits.copy()
+            dmg[l, :] = rng.integers(0, 2, code.rows)
+            dmg[r, :] = rng.integers(0, 2, code.rows)
+            code.decode_bits(dmg, [l, r])
+            assert np.array_equal(dmg[: k + 2], bits[: k + 2]), (l, r)
+
+    def test_decode_optimal_at_k_equals_p_minus_1(self):
+        p = 11
+        k = p - 1
+        code = RDPCode(k, p=p)
+        pairs = list(itertools.combinations(range(k), 2))
+        avg = sum(code.decoding_xors(pr) for pr in pairs) / len(pairs)
+        norm = avg / (2 * code.rows) / (k - 1)
+        assert norm == pytest.approx(1.0)
+
+    def test_data_plus_p_pattern(self, random_bits, rng):
+        """The substituted-diagonal chain (P participates in Q)."""
+        for p, k in [(5, 4), (7, 5), (11, 8)]:
+            code = RDPCode(k, p=p)
+            bits = random_bits(code.total_cols, code.rows)
+            code.encode_bits(bits)
+            for col in range(k):
+                dmg = bits.copy()
+                dmg[col, :] = rng.integers(0, 2, code.rows)
+                dmg[code.p_col, :] = rng.integers(0, 2, code.rows)
+                code.decode_bits(dmg, [col, code.p_col])
+                assert np.array_equal(dmg[: k + 2], bits[: k + 2]), (p, k, col)
+
+
+class TestUpdate:
+    def test_three_writes_generic_cell(self, random_words):
+        p, k = 7, 6
+        code = RDPCode(k, p=p, element_size=8)
+        buf = code.alloc_stripe()
+        buf[:k] = random_words(buf[:k].shape)
+        code.encode(buf)
+        # Row 2, column 1: neither on the missing diagonal (2+1 != p-1)
+        # nor row 0, so all three parity elements are touched.
+        assert code.update(buf, 1, 2, random_words(buf[1, 2].shape)) == 3
+        assert code.verify(buf)
+
+    def test_row_zero_touches_two(self, random_words):
+        """Row 0's P cell lies on the missing diagonal: 2 writes only."""
+        p, k = 7, 6
+        code = RDPCode(k, p=p, element_size=8)
+        buf = code.alloc_stripe()
+        buf[:k] = random_words(buf[:k].shape)
+        code.encode(buf)
+        assert code.update(buf, 2, 0, random_words(buf[2, 0].shape)) == 2
+        assert code.verify(buf)
+
+    def test_average_matches_model(self, random_words):
+        p, k = 11, 10
+        code = RDPCode(k, p=p, element_size=8)
+        buf = code.alloc_stripe()
+        buf[:k] = random_words(buf[:k].shape)
+        code.encode(buf)
+        total = sum(
+            code.update(buf, c, r, random_words(buf[c, r].shape))
+            for c in range(k)
+            for r in range(code.rows)
+        )
+        assert total / (k * code.rows) == pytest.approx(
+            RDP_MODEL.update_complexity(p, k)
+        )

@@ -1,0 +1,36 @@
+"""Tests for the code registry."""
+
+import pytest
+
+from repro.codes import available_codes, make_code
+from repro.codes.liberation import LiberationOptimal, LiberationOriginal
+
+
+class TestRegistry:
+    def test_all_families_listed(self):
+        names = available_codes()
+        for expected in (
+            "liberation-optimal",
+            "liberation-original",
+            "liberation-original-dumb",
+            "evenodd",
+            "rdp",
+            "reed-solomon",
+        ):
+            assert expected in names
+
+    def test_make_code_types(self):
+        assert isinstance(make_code("liberation-optimal", 4), LiberationOptimal)
+        assert isinstance(make_code("liberation-original", 4), LiberationOriginal)
+
+    def test_dumb_variant_configured(self):
+        code = make_code("liberation-original-dumb", 4)
+        assert code.smart is False
+
+    def test_kwargs_forwarded(self):
+        code = make_code("liberation-optimal", 4, p=11, element_size=4096)
+        assert code.p == 11 and code.element_size == 4096
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown code"):
+            make_code("parchive", 4)

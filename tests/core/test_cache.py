@@ -1,0 +1,47 @@
+"""Tests for schedule memoisation."""
+
+from repro.core.cache import (
+    cached_decode_schedule,
+    cached_encode_schedule,
+    clear_schedule_caches,
+)
+
+
+class TestEncodeCache:
+    def test_identity_on_repeat(self):
+        clear_schedule_caches()
+        a = cached_encode_schedule(7, 5)
+        b = cached_encode_schedule(7, 5)
+        assert a is b
+
+    def test_distinct_keys_distinct_objects(self):
+        assert cached_encode_schedule(7, 5) is not cached_encode_schedule(7, 6)
+
+    def test_matches_uncached(self):
+        from repro.core.encoder import encode_schedule
+
+        cached = cached_encode_schedule(11, 8)
+        fresh = encode_schedule(11, 8)
+        assert cached.n_xors == fresh.n_xors
+        assert [op for op in cached.ops] == [op for op in fresh.ops]
+
+
+class TestDecodeCache:
+    def test_tuple_key(self):
+        clear_schedule_caches()
+        a = cached_decode_schedule(7, 5, (1, 3))
+        assert a is cached_decode_schedule(7, 5, (1, 3))
+        assert a is not cached_decode_schedule(7, 5, (1, 4))
+
+    def test_clear(self):
+        a = cached_decode_schedule(5, 5, (0, 1))
+        clear_schedule_caches()
+        assert a is not cached_decode_schedule(5, 5, (0, 1))
+
+    def test_matches_uncached(self):
+        from repro.core.decoder import decode_schedule
+
+        assert (
+            cached_decode_schedule(13, 9, (2, 6)).n_xors
+            == decode_schedule(13, 9, (2, 6)).n_xors
+        )

@@ -1,0 +1,167 @@
+"""Tests for Algorithm 4 and the easy-case decoders."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.decoder import (
+    decode_schedule,
+    parity_schedule,
+    single_data_erasure_schedule,
+    two_data_erasures_schedule,
+)
+from repro.core.encoder import encode_schedule
+from repro.core.geometry import LiberationGeometry
+from repro.engine.executor import execute_bits
+from repro.utils.primes import primes_up_to
+
+from tests.conftest import SMALL_PK, erasure_patterns
+
+
+def encoded(p, k, random_bits):
+    bits = random_bits(k + 2, p)
+    execute_bits(encode_schedule(p, k), bits)
+    return bits
+
+
+class TestExhaustiveCorrectness:
+    @pytest.mark.parametrize("p,k", SMALL_PK)
+    def test_every_pattern_recovers(self, p, k, random_bits, rng):
+        ref = encoded(p, k, random_bits)
+        for pat in erasure_patterns(k):
+            dmg = ref.copy()
+            for c in pat:
+                dmg[c, :] = rng.integers(0, 2, p)  # garbage, not zeros
+            execute_bits(decode_schedule(p, k, pat), dmg)
+            assert np.array_equal(dmg, ref), (p, k, pat)
+
+    @pytest.mark.parametrize("p", [17, 19])
+    def test_larger_primes_all_data_pairs(self, p, random_bits, rng):
+        k = p
+        ref = encoded(p, k, random_bits)
+        for pat in itertools.combinations(range(k), 2):
+            dmg = ref.copy()
+            for c in pat:
+                dmg[c, :] = rng.integers(0, 2, p)
+            execute_bits(decode_schedule(p, k, pat), dmg)
+            assert np.array_equal(dmg, ref), (p, k, pat)
+
+    def test_empty_pattern_is_noop(self, random_bits):
+        ref = encoded(7, 5, random_bits)
+        work = ref.copy()
+        execute_bits(decode_schedule(7, 5, []), work)
+        assert np.array_equal(work, ref)
+
+
+class TestXorCounts:
+    def test_paper_example_corrected_count(self):
+        """§III-C example (p=5, cols {1,3}): 41 XORs with the two
+        erratum terms restored (the paper prints 39 because its S3Q and
+        S4Q drop one surviving cell each; see tests/test_paper_examples)."""
+        assert decode_schedule(5, 5, [1, 3]).n_xors == 41
+
+    @pytest.mark.parametrize("p", [p for p in primes_up_to(19) if p != 2])
+    def test_near_lower_bound(self, p):
+        """Fig. 7: average two-column decode within a few % of k-1."""
+        k = p
+        pairs = list(itertools.combinations(range(k), 2))
+        total = sum(decode_schedule(p, k, pr).n_xors for pr in pairs)
+        norm = total / len(pairs) / (2 * p) / (k - 1)
+        assert 1.0 <= norm < 1.08, (p, norm)
+
+    def test_fixed_p31_band(self):
+        """Fig. 8: 0-2.5% over the bound for k >= 8 at p=31."""
+        p = 31
+        for k in [8, 14, 20, 23]:
+            pairs = list(itertools.combinations(range(k), 2))[:40]
+            total = sum(decode_schedule(p, k, pr).n_xors for pr in pairs)
+            norm = total / len(pairs) / (2 * p) / (k - 1)
+            assert norm < 1.045, (k, norm)
+
+    def test_beats_original_smart_decode(self):
+        """The 15-20% reduction claim vs bit-matrix scheduling."""
+        from repro.bitmatrix import liberation_bitmatrix, bitmatrix_decode_schedule
+
+        p = k = 13
+        g = liberation_bitmatrix(p, k)
+        pairs = list(itertools.combinations(range(k), 2))
+        opt = sum(decode_schedule(p, k, pr).n_xors for pr in pairs)
+        orig = sum(bitmatrix_decode_schedule(g, p, k, pr).n_xors for pr in pairs)
+        reduction = 1 - opt / orig
+        assert 0.12 < reduction < 0.25, reduction
+
+    def test_single_data_erasure_optimal(self):
+        """One data column via rows: exactly k-1 XORs per missing bit."""
+        for p, k in [(5, 5), (7, 4), (11, 11)]:
+            sched = decode_schedule(p, k, [1])
+            assert sched.n_xors == p * (k - 1)
+
+    def test_parity_only_reencode_optimal(self):
+        for p, k in [(5, 5), (11, 7)]:
+            assert decode_schedule(p, k, [k, k + 1]).n_xors == 2 * p * (k - 1)
+
+
+class TestEasyCases:
+    @pytest.mark.parametrize("p,k", [(5, 5), (7, 4), (11, 11), (13, 6)])
+    def test_single_column_all_positions(self, p, k, random_bits, rng):
+        ref = encoded(p, k, random_bits)
+        for c in range(k + 2):
+            dmg = ref.copy()
+            dmg[c, :] = rng.integers(0, 2, p)
+            execute_bits(decode_schedule(p, k, [c]), dmg)
+            assert np.array_equal(dmg, ref), c
+
+    def test_q_based_single_column(self, random_bits, rng):
+        """The use_q path used when P is dead."""
+        for p, k in [(5, 5), (7, 6), (11, 4)]:
+            geo = LiberationGeometry(p, k)
+            ref = encoded(p, k, random_bits)
+            for col in range(k):
+                dmg = ref.copy()
+                dmg[col, :] = rng.integers(0, 2, p)
+                execute_bits(single_data_erasure_schedule(geo, col, use_q=True), dmg)
+                assert np.array_equal(dmg, ref), (p, k, col)
+
+    def test_parity_schedule_rejects_garbage(self):
+        geo = LiberationGeometry(5, 5)
+        with pytest.raises(ValueError):
+            parity_schedule(geo, (2,))
+
+
+class TestScheduleHygiene:
+    @pytest.mark.parametrize("p,k", [(7, 7), (11, 8)])
+    def test_never_reads_unwritten_erased_cells(self, p, k):
+        """Erased columns hold garbage; any read of them must follow a
+        write in schedule order."""
+        for pat in erasure_patterns(k):
+            if not pat:
+                continue
+            sched = decode_schedule(p, k, pat)
+            written = set()
+            for op in sched:
+                if op.src_col in pat:
+                    assert op.src in written, (pat, op)
+                written.add(op.dst)
+
+    def test_writes_confined_to_erased_columns(self):
+        p, k = 11, 11
+        for pat in [(0, 5), (3,), (2, k), (4, k + 1), (k, k + 1)]:
+            sched = decode_schedule(p, k, pat)
+            assert {c for (c, _r) in sched.destinations()} <= set(pat)
+
+    def test_two_data_uses_cheaper_orientation(self):
+        """The chosen orientation's starting point cost is minimal."""
+        from repro.core.starting_point import find_starting_point
+
+        p = k = 11
+        geo = LiberationGeometry(p, k)
+        for l, r in itertools.combinations(range(1, k), 2):
+            a = find_starting_point(p, l, r)
+            b = find_starting_point(p, r, l)
+            best = min(sp.n_xors for sp in (a, b) if sp)
+            # Rebuild via the public entry and compare total against
+            # swapping: schedule must not exceed the alternative.
+            sched_lr = two_data_erasures_schedule(geo, l, r)
+            assert sched_lr.n_xors <= two_data_erasures_schedule(geo, r, l).n_xors + 0
+            del best

@@ -1,0 +1,105 @@
+"""Tests for Algorithm 1 (optimal encoding)."""
+
+import numpy as np
+import pytest
+
+from repro.bitmatrix.builder import liberation_bitmatrix
+from repro.bitmatrix.schedule import dumb_schedule
+from repro.core.encoder import encode_schedule
+from repro.core.geometry import LiberationGeometry
+from repro.engine.executor import execute_bits
+from repro.utils.primes import primes_up_to
+
+ALL_PK = [(p, k) for p in primes_up_to(17) if p != 2 for k in range(2, p + 1)]
+
+
+class TestXorCount:
+    @pytest.mark.parametrize("p,k", ALL_PK)
+    def test_meets_lower_bound_exactly(self, p, k):
+        """The paper's headline: 2p(k-1) XORs == (k-1) per parity bit."""
+        assert encode_schedule(p, k).n_xors == 2 * p * (k - 1)
+
+    def test_paper_example_40_xors(self):
+        """§III-B: the p=5 worked example uses exactly 40 XORs."""
+        assert encode_schedule(5, 5).n_xors == 40
+
+    def test_beats_original_by_paper_margin(self):
+        """Fig. 5: the original costs (k-1)/2p more per parity bit."""
+        for p, k in [(3, 2), (5, 5), (7, 7), (31, 23)]:
+            g = liberation_bitmatrix(p, k)
+            orig = dumb_schedule(g, p, k).n_xors
+            opt = encode_schedule(p, k).n_xors
+            assert orig - opt == k - 1
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("p,k", ALL_PK)
+    def test_matches_bitmatrix_encoder(self, p, k, random_bits):
+        bits = random_bits(k + 2, p)
+        a = bits.copy()
+        execute_bits(encode_schedule(p, k), a)
+        b = bits.copy()
+        execute_bits(dumb_schedule(liberation_bitmatrix(p, k), p, k), b)
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("p,k", [(5, 5), (7, 4), (11, 11)])
+    def test_matches_defining_equations(self, p, k, random_bits):
+        """Direct check against equations (1)-(2)."""
+        geo = LiberationGeometry(p, k)
+        bits = random_bits(k + 2, p)
+        out = bits.copy()
+        execute_bits(encode_schedule(p, k), out)
+        for i in range(p):
+            expect_p = 0
+            for t in range(k):
+                expect_p ^= int(bits[t, i])
+            assert out[k, i] == expect_p
+            expect_q = 0
+            for (row, col) in geo.q_constraint_cells(i):
+                expect_q ^= int(bits[col, row])
+            assert out[k + 1, i] == expect_q
+
+    def test_zero_data_zero_parity(self):
+        bits = np.zeros((7, 5), dtype=np.uint8)
+        execute_bits(encode_schedule(5, 5), bits)
+        assert not bits.any()
+
+    def test_single_bit_update_footprint(self):
+        """Flipping one data bit flips exactly its 2 (or 3) parity bits
+        -- the update-optimality property of Table I."""
+        p, k = 7, 7
+        geo = LiberationGeometry(p, k)
+        base = np.zeros((k + 2, p), dtype=np.uint8)
+        execute_bits(encode_schedule(p, k), base)
+        for col in range(k):
+            for row in range(p):
+                bits = np.zeros((k + 2, p), dtype=np.uint8)
+                bits[col, row] = 1
+                execute_bits(encode_schedule(p, k), bits)
+                flips = int(bits[k].sum() + bits[k + 1].sum())
+                is_extra = geo.extra_bit_of_column(col) == (row, col)
+                assert flips == (3 if is_extra else 2), (col, row)
+
+
+class TestScheduleStructure:
+    def test_writes_only_parity_columns(self):
+        sched = encode_schedule(7, 5)
+        for op in sched:
+            assert op.dst_col in (5, 6)
+
+    def test_data_cells_never_written(self):
+        sched = encode_schedule(11, 8)
+        assert all(dst[0] >= 8 for dst in sched.destinations())
+
+    def test_every_parity_cell_written(self):
+        p, k = 11, 4
+        dsts = encode_schedule(p, k).destinations()
+        assert {(k, i) for i in range(p)} <= dsts
+        assert {(k + 1, i) for i in range(p)} <= dsts
+
+    def test_copy_count(self):
+        """Exactly one copy per parity cell: the k-1 pair seeds plus
+        their k-1 Q mirrors replace the 2(k-1) first-touch copies those
+        cells would otherwise need, so the total stays 2p."""
+        for p, k in [(5, 5), (7, 4), (13, 13)]:
+            assert encode_schedule(p, k).n_copies == 2 * p

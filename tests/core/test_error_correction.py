@@ -1,0 +1,127 @@
+"""Tests for single-column error correction (silent corruption)."""
+
+import numpy as np
+import pytest
+
+from repro.codes import LiberationOptimal
+from repro.core.error_correction import (
+    ScanStatus,
+    compute_syndromes,
+    locate_and_correct,
+)
+
+
+@pytest.fixture(params=[(5, 5), (7, 4), (11, 11), (13, 6)], ids=str)
+def stripe(request, random_words):
+    p, k = request.param
+    code = LiberationOptimal(k, p=p, element_size=16)
+    buf = code.alloc_stripe()
+    buf[:k] = random_words(buf[:k].shape)
+    code.encode(buf)
+    return code, buf
+
+
+class TestSyndromes:
+    def test_clean_stripe_zero_syndromes(self, stripe):
+        code, buf = stripe
+        s_p, s_q = compute_syndromes(code.geometry, buf)
+        assert not s_p.any() and not s_q.any()
+
+    def test_data_error_pattern_appears_in_p(self, stripe, rng):
+        code, buf = stripe
+        delta = rng.integers(1, 2**64, buf[0, 2].shape, dtype=np.uint64)
+        buf[1, 2] ^= delta
+        s_p, _ = compute_syndromes(code.geometry, buf)
+        assert np.array_equal(s_p[2], delta)
+        assert not s_p[[i for i in range(code.p) if i != 2]].any()
+
+
+class TestCleanAndParityCases:
+    def test_clean(self, stripe):
+        code, buf = stripe
+        res = locate_and_correct(code.geometry, buf)
+        assert res.status is ScanStatus.CLEAN and res.column is None
+
+    def test_p_column_corruption(self, stripe, rng):
+        code, buf = stripe
+        ref = buf.copy()
+        buf[code.p_col, 0] ^= np.uint64(0xDEAD)
+        res = locate_and_correct(code.geometry, buf)
+        assert res.status is ScanStatus.CORRECTED
+        assert res.column == code.p_col and res.elements == 1
+        assert np.array_equal(buf, ref)
+
+    def test_q_column_corruption(self, stripe, rng):
+        code, buf = stripe
+        ref = buf.copy()
+        for r in range(min(3, code.p)):
+            buf[code.q_col, r] ^= np.uint64(7 + r)
+        res = locate_and_correct(code.geometry, buf)
+        assert res.status is ScanStatus.CORRECTED
+        assert res.column == code.q_col and res.elements == min(3, code.p)
+        assert np.array_equal(buf, ref)
+
+
+class TestDataColumnCases:
+    def test_every_column_every_weight(self, stripe, rng):
+        code, buf = stripe
+        p = code.p
+        for col in range(code.k):
+            for weight in (1, 2, p):
+                dmg = buf.copy()
+                rows = rng.choice(p, size=min(weight, p), replace=False)
+                for r in rows:
+                    dmg[col, r] ^= rng.integers(
+                        1, 2**64, dmg[col, r].shape, dtype=np.uint64
+                    )
+                res = locate_and_correct(code.geometry, dmg)
+                assert res.status is ScanStatus.CORRECTED, (col, weight)
+                assert res.column == col
+                assert np.array_equal(dmg, buf), (col, weight)
+
+    def test_extra_bit_cell_corruption(self, stripe, rng):
+        """The extra-bit cell feeds two Q constraints -- the locator
+        must still pin the right column."""
+        code, buf = stripe
+        geo = code.geometry
+        for col in range(1, code.k):
+            row, _ = geo.extra_bit_of_column(col)
+            dmg = buf.copy()
+            dmg[col, row] ^= np.uint64(0x1234)
+            res = locate_and_correct(geo, dmg)
+            assert res.status is ScanStatus.CORRECTED and res.column == col
+            assert np.array_equal(dmg, buf)
+
+
+class TestUncorrectable:
+    def test_two_distinct_deltas_same_row(self, stripe, rng):
+        """Two corrupt data columns with inconsistent syndromes."""
+        code, buf = stripe
+        dmg = buf.copy()
+        dmg[0, 0] ^= np.uint64(0xA)
+        dmg[1, 0] ^= np.uint64(0x5)
+        res = locate_and_correct(code.geometry, dmg)
+        assert res.status is ScanStatus.UNCORRECTABLE
+
+    def test_random_two_column_corruption(self, stripe, rng):
+        code, buf = stripe
+        dmg = buf.copy()
+        for col in (0, 2):
+            dmg[col] ^= rng.integers(1, 2**64, dmg[col].shape, dtype=np.uint64)
+        res = locate_and_correct(code.geometry, dmg)
+        assert res.status is ScanStatus.UNCORRECTABLE
+
+    def test_aliased_two_column_corruption_is_fundamental(self):
+        """Equal deltas landing on one anti-diagonal mimic a P-column
+        error: the scan *must* mis-classify this (distance-3 limit).
+        Documented behaviour, not a bug."""
+        code = LiberationOptimal(5, p=5, element_size=8)
+        buf = code.alloc_stripe()
+        buf[:5] = 1
+        code.encode(buf)
+        dmg = buf.copy()
+        dmg[0, 0] ^= np.uint64(1)  # anti-diagonal 0
+        dmg[1, 1] ^= np.uint64(1)  # anti-diagonal 0, same delta
+        res = locate_and_correct(code.geometry, dmg)
+        assert res.status is ScanStatus.CORRECTED
+        assert res.column == code.p_col  # plausible—but wrong—diagnosis

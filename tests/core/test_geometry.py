@@ -1,0 +1,166 @@
+"""Tests for the geometric presentation (paper §III-A, Figs. 2-3)."""
+
+import pytest
+
+from repro.bitmatrix.builder import liberation_parity_cells
+from repro.core.geometry import LiberationGeometry
+
+
+@pytest.fixture
+def geo5():
+    return LiberationGeometry(5, 5)
+
+
+class TestConstraintGeometry:
+    def test_anti_diag_of(self, geo5):
+        assert geo5.anti_diag_of(0, 0) == 0
+        assert geo5.anti_diag_of(0, 1) == 4  # Fig. 2: cell (0,1) is 'E'
+        assert geo5.anti_diag_of(2, 1) == 1  # Fig. 2: cell (2,1) is 'B'
+
+    def test_anti_diag_cells_closed_form(self, geo5):
+        for d in range(5):
+            for (row, col) in geo5.anti_diag_cells(d):
+                assert (row - col) % 5 == d
+
+    def test_row_cells(self):
+        geo = LiberationGeometry(7, 4)
+        assert geo.row_cells(3) == [(3, t) for t in range(4)]
+
+    def test_q_constraint_includes_extra(self, geo5):
+        cells = geo5.q_constraint_cells(4)
+        assert (0, 2) in cells  # 'E' has extra bit at b(0,2) per Fig. 2
+        assert len(cells) == 6
+
+    def test_q0_has_no_extra(self, geo5):
+        assert geo5.extra_bit(0) is None
+        assert len(geo5.q_constraint_cells(0)) == 5
+
+
+class TestExtraBits:
+    def test_figure2_extras(self, geo5):
+        """Fig. 2 (p=5): a_1=b(3,3), a_2=b(2,1), a_3=b(1,4), a_4=b(0,2)."""
+        assert geo5.extra_bit(1) == (3, 3)
+        assert geo5.extra_bit(2) == (2, 1)
+        assert geo5.extra_bit(3) == (1, 4)
+        assert geo5.extra_bit(4) == (0, 2)
+
+    def test_extra_in_phantom_column_dropped(self):
+        geo = LiberationGeometry(5, 2)
+        # Extras live in columns 1..p-1; only column 1's survives k=2.
+        extras = [geo.extra_bit(d) for d in range(5)]
+        kept = [e for e in extras if e is not None]
+        assert all(col < 2 for (_r, col) in kept)
+        assert len(kept) == 1
+
+    def test_extra_bit_of_column(self, geo5):
+        assert geo5.extra_bit_of_column(0) is None
+        for col in range(1, 5):
+            cell = geo5.extra_bit_of_column(col)
+            d = geo5.extra_diag_of_column(col)
+            assert geo5.extra_bit(d) == cell
+            assert cell[1] == col
+
+    def test_every_nonzero_column_hosts_one_extra(self):
+        for p, k in [(7, 7), (11, 11), (13, 13)]:
+            geo = LiberationGeometry(p, k)
+            hosted = {geo.extra_bit(d)[1] for d in range(1, p)}
+            assert hosted == set(range(1, p))
+
+    def test_extra_bit_of_column_bounds(self, geo5):
+        with pytest.raises(IndexError):
+            geo5.extra_bit_of_column(5)
+
+    def test_extra_lies_on_half_slope_diagonal(self):
+        """The extra of Q_i sits on the (p-1)-th diagonal of slope (p-1)/2."""
+        for p in [5, 7, 11]:
+            geo = LiberationGeometry(p, p)
+            m = geo.mod.half_minus
+            for d in range(1, p):
+                row, col = geo.extra_bit(d)
+                assert (row + m * col) % p == p - 1
+                # ... and on the (d-1)-th anti-diagonal.
+                assert geo.anti_diag_of(row, col) == (d - 1) % p
+
+
+class TestCommonExpressions:
+    def test_figure3_pairs(self, geo5):
+        """Fig. 3: E's at rows 2,0,3,1 for pairs (0,1),(1,2),(2,3),(3,4)."""
+        rows = [geo5.common_expression(j).row for j in range(1, 5)]
+        assert rows == [2, 0, 3, 1]
+
+    def test_q_index_mirrors_row(self, geo5):
+        for j in range(1, 5):
+            ce = geo5.common_expression(j)
+            assert ce.q_index == 5 - 1 - ce.row
+
+    def test_members_share_row_and_constraints(self):
+        """Both members are in P_row; left is native to Q_{q_index} and
+        right is exactly that constraint's extra bit."""
+        for p, k in [(5, 5), (7, 6), (11, 11), (13, 8)]:
+            geo = LiberationGeometry(p, k)
+            for ce in geo.common_expressions:
+                assert ce.left == (ce.row, ce.right_col - 1)
+                assert geo.anti_diag_of(*ce.left) == ce.q_index
+                assert geo.extra_bit(ce.q_index) == ce.right
+
+    def test_rows_distinct(self):
+        for p, k in [(5, 5), (7, 7), (13, 13)]:
+            geo = LiberationGeometry(p, k)
+            rows = [ce.row for ce in geo.common_expressions]
+            assert len(set(rows)) == len(rows)
+
+    def test_index_bounds(self, geo5):
+        with pytest.raises(IndexError):
+            geo5.common_expression(0)
+        with pytest.raises(IndexError):
+            geo5.common_expression(5)
+
+
+class TestMemberPredicates:
+    def test_members_detected(self):
+        for p, k in [(5, 5), (7, 5), (11, 11)]:
+            geo = LiberationGeometry(p, k)
+            lefts = {ce.left for ce in geo.common_expressions}
+            rights = {ce.right for ce in geo.common_expressions}
+            for i in range(p):
+                for j in range(k):
+                    assert geo.is_left_member(i, j) == ((i, j) in lefts), (p, k, i, j)
+                    assert geo.is_right_member(i, j) == ((i, j) in rights), (p, k, i, j)
+
+    def test_last_column_not_left_member_when_k_lt_p(self):
+        """The paper's condition assumes k=p; for k<p the pair (k-1, k)
+        does not exist and its would-be left member must stay live."""
+        geo = LiberationGeometry(7, 4)
+        assert not any(geo.is_left_member(i, 3) for i in range(7))
+
+    def test_column0_never_right_member(self):
+        for p in [5, 7, 11]:
+            geo = LiberationGeometry(p, p)
+            assert not any(geo.is_right_member(i, 0) for i in range(p))
+
+
+class TestAgreementWithBitmatrixDefinition:
+    """The geometry and the bitmatrix builder must describe one code."""
+
+    @pytest.mark.parametrize("p,k", [(3, 2), (5, 4), (5, 5), (7, 7), (11, 6)])
+    def test_q_constraints_match(self, p, k):
+        geo = LiberationGeometry(p, k)
+        _p_rows, q_rows = liberation_parity_cells(p, k)
+        for d in range(p):
+            expect = {(r, c) for (r, c) in q_rows[d]}
+            got = {cell for cell in geo.q_constraint_cells(d) if cell[1] < k}
+            assert got == expect
+
+
+class TestMisc:
+    def test_columns(self, geo5):
+        assert geo5.n_cols == 7 and geo5.p_col == 5 and geo5.q_col == 6
+
+    def test_repr(self, geo5):
+        assert "p=5" in repr(geo5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LiberationGeometry(4, 3)
+        with pytest.raises(ValueError):
+            LiberationGeometry(5, 7)

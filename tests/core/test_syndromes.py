@@ -1,0 +1,127 @@
+"""Tests for Algorithm 3 (syndrome computation)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.encoder import encode_schedule
+from repro.core.geometry import LiberationGeometry
+from repro.core.syndromes import syndrome_schedule
+from repro.engine.executor import execute_bits
+
+
+def reference_syndromes(geo, bits, l, r):
+    """Paper-definition syndromes computed naively.
+
+    S_i^P / S_i^Q = XOR of the surviving bits of the constraint,
+    excluding surviving members of unknown common expressions, plus the
+    stored parity bit.
+    """
+    p, k = geo.p, geo.k
+    erased = {l, r}
+    excluded = set()
+    for ce in geo.common_expressions:
+        if erased & {ce.left_col, ce.right_col}:
+            # Unknown pair: BOTH roles of both members leave the syndromes.
+            excluded.add((ce.left, "P"))
+            excluded.add((ce.left, "Q"))
+            excluded.add((ce.right, "P"))
+            # right's own native Q role is distinct from its extra role
+            # and is NOT excluded.
+    s_p = np.zeros(p, dtype=np.uint8)
+    s_q = np.zeros(p, dtype=np.uint8)
+    for i in range(p):
+        acc = int(bits[geo.p_col, i])
+        for (row, col) in geo.row_cells(i):
+            if col in erased or ((row, col), "P") in excluded:
+                continue
+            acc ^= int(bits[col, row])
+        s_p[i] = acc
+        acc = int(bits[geo.q_col, i])
+        for (row, col) in geo.anti_diag_cells(i):
+            if col in erased or ((row, col), "Q") in excluded:
+                continue
+            acc ^= int(bits[col, row])
+        extra = geo.extra_bit(i)
+        if extra is not None and extra[1] not in erased:
+            # The extra-bit role enters only through a *known* pair.
+            ce = geo.common_expression(extra[1])
+            if not (erased & {ce.left_col, ce.right_col}):
+                acc ^= int(bits[extra[1], extra[0]])
+        s_q[i] = acc
+    return s_p, s_q
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("p,k", [(5, 5), (5, 3), (7, 7), (7, 4), (11, 11), (11, 6)])
+    def test_all_data_pairs(self, p, k, random_bits):
+        geo = LiberationGeometry(p, k)
+        bits = random_bits(k + 2, p)
+        execute_bits(encode_schedule(p, k), bits)
+        for l, r in itertools.permutations(range(k), 2):
+            expect_p, expect_q = reference_syndromes(geo, bits, l, r)
+            work = bits.copy()
+            execute_bits(syndrome_schedule(geo, l, r), work)
+            assert np.array_equal(work[l], expect_p), (l, r, "P")
+            # Anti-diagonal syndrome i is stored at row <i+r> of col r.
+            stored_q = np.array(
+                [work[r, (i + r) % p] for i in range(p)], dtype=np.uint8
+            )
+            assert np.array_equal(stored_q, expect_q), (l, r, "Q")
+
+
+class TestPaperExampleSyndromes:
+    """The corrected §III-C example (p=5, l=3, r=1 after exchange).
+
+    The printed S3Q / S4Q drop the terms b(2,4) and b(1,2); the
+    corrected equations (verified numerically in
+    tests/test_paper_examples.py) are what Algorithm 3 produces.
+    """
+
+    def test_s_values(self, random_bits):
+        p = k = 5
+        geo = LiberationGeometry(p, k)
+        bits = random_bits(k + 2, p)
+        execute_bits(encode_schedule(p, k), bits)
+        b = lambda i, j: int(bits[j, i])
+        work = bits.copy()
+        execute_bits(syndrome_schedule(geo, 3, 1), work)  # l=3, r=1
+        s_p = [work[3, i] for i in range(5)]
+        s_q = [work[1, (i + 1) % 5] for i in range(5)]
+        assert s_p[0] == b(0, 0) ^ b(0, 4) ^ b(0, 5)
+        assert s_p[1] == b(1, 0) ^ b(1, 2) ^ b(1, 5)
+        assert s_p[2] == b(2, 2) ^ b(2, 4) ^ b(2, 5)
+        assert s_p[3] == b(3, 0) ^ b(3, 4) ^ b(3, 5)
+        assert s_p[4] == b(4, 0) ^ b(4, 2) ^ b(4, 4) ^ b(4, 5)
+        assert s_q[0] == b(0, 0) ^ b(2, 2) ^ b(4, 4) ^ b(0, 6)
+        assert s_q[1] == b(1, 0) ^ b(0, 4) ^ b(1, 6)
+        assert s_q[2] == b(4, 2) ^ b(1, 4) ^ b(2, 6)
+        assert s_q[3] == b(3, 0) ^ b(0, 2) ^ b(2, 4) ^ b(3, 6)  # erratum: + b(2,4)
+        assert s_q[4] == b(4, 0) ^ b(3, 4) ^ b(1, 2) ^ b(4, 6)  # erratum: + b(1,2)
+
+
+class TestValidation:
+    def test_same_column_rejected(self):
+        geo = LiberationGeometry(5, 5)
+        with pytest.raises(ValueError):
+            syndrome_schedule(geo, 2, 2)
+
+    def test_out_of_range_rejected(self):
+        geo = LiberationGeometry(5, 3)
+        with pytest.raises(ValueError):
+            syndrome_schedule(geo, 0, 3)
+
+    def test_writes_only_erased_columns(self):
+        geo = LiberationGeometry(7, 7)
+        sched = syndrome_schedule(geo, 2, 5)
+        assert {c for (c, _r) in sched.destinations()} == {2, 5}
+
+    def test_k2_degenerate(self, random_bits):
+        """With k=2 both data columns die: syndromes are the parities."""
+        geo = LiberationGeometry(5, 2)
+        bits = random_bits(4, 5)
+        execute_bits(encode_schedule(5, 2), bits)
+        work = bits.copy()
+        execute_bits(syndrome_schedule(geo, 0, 1), work)
+        assert np.array_equal(work[0], bits[2])  # row syndromes = P

@@ -1,0 +1,86 @@
+"""Tests for static schedule verification."""
+
+import itertools
+
+import pytest
+
+from repro.engine.ops import Schedule
+from repro.engine.verify import ScheduleViolation, verify_schedule
+
+
+class TestReadDiscipline:
+    def test_clean_schedule_passes(self):
+        s = Schedule(3, 2)
+        s.copy_cell((1, 0), (0, 0))  # write erased col 1 first
+        s.accumulate((1, 0), (2, 0))
+        verify_schedule(s, unreadable_cols=[1])
+
+    def test_read_of_unwritten_erased_cell_flagged(self):
+        s = Schedule(3, 2)
+        s.copy_cell((2, 0), (1, 0))  # reads erased col 1 without writing
+        with pytest.raises(ScheduleViolation, match="reads unwritten"):
+            verify_schedule(s, unreadable_cols=[1])
+
+    def test_accumulate_into_unwritten_erased_cell_flagged(self):
+        s = Schedule(3, 2)
+        s.mark_touched((1, 0))
+        s.accumulate((1, 0), (0, 0))  # dst holds garbage yet accumulates
+        with pytest.raises(ScheduleViolation, match="accumulates into unwritten"):
+            verify_schedule(s, unreadable_cols=[1])
+
+    def test_write_then_read_is_fine(self):
+        s = Schedule(3, 2)
+        s.copy_cell((1, 0), (0, 0))
+        s.copy_cell((2, 1), (1, 0))
+        verify_schedule(s, unreadable_cols=[1])
+
+
+class TestCoverage:
+    def test_missing_required_dst_flagged(self):
+        s = Schedule(3, 2)
+        s.copy_cell((1, 0), (0, 0))
+        with pytest.raises(ScheduleViolation, match="never writes"):
+            verify_schedule(s, required_dsts=[(1, 0), (1, 1)])
+
+    def test_full_coverage_passes(self):
+        s = Schedule(3, 2)
+        s.copy_cell((1, 0), (0, 0))
+        s.copy_cell((1, 1), (0, 1))
+        verify_schedule(s, required_dsts=[(1, 0), (1, 1)])
+
+
+class TestAgainstRealCodes:
+    @pytest.mark.parametrize(
+        "name,k,p",
+        [
+            ("liberation-optimal", 7, 7),
+            ("liberation-original", 7, 7),
+            ("evenodd", 6, 7),
+            ("rdp", 6, 7),
+            ("blaum-roth", 6, 7),
+            ("cauchy-rs", 6, None),
+        ],
+    )
+    def test_every_decode_schedule_is_disciplined(self, name, k, p):
+        from repro.codes import make_code
+
+        kw = {} if p is None else {"p": p}
+        code = make_code(name, k, **kw)
+        for pat in [(c,) for c in range(k + 2)] + list(
+            itertools.combinations(range(k + 2), 2)
+        ):
+            sched = code.build_decode_schedule(pat)
+            required = {(c, r) for c in pat for r in range(code.rows)}
+            verify_schedule(sched, unreadable_cols=pat, required_dsts=required)
+
+    def test_encode_schedules_write_all_parity(self):
+        from repro.codes import make_code
+
+        for name in ("liberation-optimal", "evenodd", "rdp"):
+            code = make_code(name, 6, p=7)
+            required = {
+                (c, r)
+                for c in (code.p_col, code.q_col)
+                for r in range(code.rows)
+            }
+            verify_schedule(code.encode_schedule(), required_dsts=required)

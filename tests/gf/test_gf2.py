@@ -1,0 +1,112 @@
+"""Tests for GF(2) matrix algebra."""
+
+import numpy as np
+import pytest
+
+from repro.gf.gf2 import (
+    as_gf2,
+    gf2_identity,
+    gf2_inverse,
+    gf2_is_invertible,
+    gf2_matvec,
+    gf2_mul,
+    gf2_rank,
+    gf2_solve,
+)
+
+
+def random_invertible(n, rng):
+    """Random invertible GF(2) matrix via random row operations on I."""
+    m = gf2_identity(n)
+    for _ in range(4 * n):
+        i, j = rng.integers(0, n, 2)
+        if i != j:
+            m[i] ^= m[j]
+    perm = rng.permutation(n)
+    return m[perm]
+
+
+class TestBasics:
+    def test_as_gf2_reduces_mod_2(self):
+        out = as_gf2(np.array([[2, 3], [4, 5]]))
+        assert out.tolist() == [[0, 1], [0, 1]]
+
+    def test_identity(self):
+        i3 = gf2_identity(3)
+        assert np.array_equal(gf2_mul(i3, i3), i3)
+
+    def test_mul_matches_boolean_definition(self, rng):
+        a = rng.integers(0, 2, (5, 7)).astype(np.uint8)
+        b = rng.integers(0, 2, (7, 4)).astype(np.uint8)
+        expect = np.zeros((5, 4), dtype=np.uint8)
+        for i in range(5):
+            for j in range(4):
+                expect[i, j] = int(np.bitwise_xor.reduce(a[i] & b[:, j]))
+        assert np.array_equal(gf2_mul(a, b), expect)
+
+    def test_matvec(self, rng):
+        a = rng.integers(0, 2, (6, 6)).astype(np.uint8)
+        v = rng.integers(0, 2, 6).astype(np.uint8)
+        assert np.array_equal(gf2_matvec(a, v), gf2_mul(a, v[:, None]).ravel())
+
+
+class TestRank:
+    def test_identity_full_rank(self):
+        assert gf2_rank(gf2_identity(8)) == 8
+
+    def test_zero_matrix(self):
+        assert gf2_rank(np.zeros((4, 4), dtype=np.uint8)) == 0
+
+    def test_duplicate_rows(self):
+        m = np.array([[1, 0, 1], [1, 0, 1], [0, 1, 0]], dtype=np.uint8)
+        assert gf2_rank(m) == 2
+
+    def test_empty(self):
+        assert gf2_rank(np.zeros((0, 0), dtype=np.uint8)) == 0
+
+    def test_rectangular(self):
+        m = np.array([[1, 0, 0, 1], [0, 1, 0, 1]], dtype=np.uint8)
+        assert gf2_rank(m) == 2
+
+
+class TestInverse:
+    @pytest.mark.parametrize("n", [1, 2, 5, 16, 64])
+    def test_round_trip(self, n, rng):
+        m = random_invertible(n, rng)
+        inv = gf2_inverse(m)
+        assert np.array_equal(gf2_mul(m, inv), gf2_identity(n))
+        assert np.array_equal(gf2_mul(inv, m), gf2_identity(n))
+
+    def test_singular_raises(self):
+        m = np.array([[1, 1], [1, 1]], dtype=np.uint8)
+        with pytest.raises(np.linalg.LinAlgError):
+            gf2_inverse(m)
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            gf2_inverse(np.zeros((2, 3), dtype=np.uint8))
+
+    def test_input_not_mutated(self, rng):
+        m = random_invertible(6, rng)
+        before = m.copy()
+        gf2_inverse(m)
+        assert np.array_equal(m, before)
+
+
+class TestSolveAndInvertible:
+    def test_solve_vector(self, rng):
+        a = random_invertible(8, rng)
+        x = rng.integers(0, 2, 8).astype(np.uint8)
+        b = gf2_matvec(a, x)
+        assert np.array_equal(gf2_solve(a, b), x)
+
+    def test_solve_matrix(self, rng):
+        a = random_invertible(6, rng)
+        x = rng.integers(0, 2, (6, 3)).astype(np.uint8)
+        b = gf2_mul(a, x)
+        assert np.array_equal(gf2_solve(a, b), x)
+
+    def test_is_invertible(self, rng):
+        assert gf2_is_invertible(random_invertible(7, rng))
+        assert not gf2_is_invertible(np.ones((3, 3), dtype=np.uint8))
+        assert not gf2_is_invertible(np.ones((2, 3), dtype=np.uint8))

@@ -1,0 +1,89 @@
+"""Tests for generic GF(2^w) and the bit-matrix projection."""
+
+import numpy as np
+import pytest
+
+from repro.gf.gf2w import GF2w, PRIMITIVE_POLYS, element_bitmatrix
+
+
+class TestFieldLaws:
+    @pytest.mark.parametrize("w", [2, 3, 4, 8])
+    def test_inverse_everywhere(self, w):
+        gf = GF2w(w)
+        for a in range(1, gf.size):
+            assert gf.mul(a, gf.inverse(a)) == 1
+
+    @pytest.mark.parametrize("w", [3, 4])
+    def test_associativity_exhaustive(self, w):
+        gf = GF2w(w)
+        for a in range(gf.size):
+            for b in range(gf.size):
+                for c in (1, 2, gf.size - 1):
+                    assert gf.mul(gf.mul(a, b), c) == gf.mul(a, gf.mul(b, c))
+
+    def test_distributivity_sampled(self):
+        gf = GF2w(8)
+        rng = np.random.default_rng(0)
+        for _ in range(300):
+            a, b, c = rng.integers(0, 256, 3)
+            assert gf.mul(int(a), int(b) ^ int(c)) == gf.mul(int(a), int(b)) ^ gf.mul(int(a), int(c))
+
+    def test_gf8_matches_gf256_module(self):
+        """Same polynomial (0x11D) as the Reed-Solomon field."""
+        from repro.gf.gf256 import GF256
+
+        gf8, gf256 = GF2w(8), GF256()
+        for a, b in [(3, 7), (200, 131), (255, 255), (1, 99)]:
+            assert gf8.mul(a, b) == int(gf256.mul(a, b))
+
+    def test_unsupported_width(self):
+        with pytest.raises(ValueError):
+            GF2w(17)
+
+    def test_zero_division(self):
+        with pytest.raises(ZeroDivisionError):
+            GF2w(4).inverse(0)
+
+    def test_div_roundtrip(self):
+        gf = GF2w(4)
+        for a in range(1, 16):
+            for b in range(1, 16):
+                assert gf.mul(gf.div(a, b), b) == a
+
+    def test_all_polys_primitive(self):
+        for w in PRIMITIVE_POLYS:
+            GF2w(w)  # constructor asserts primitivity
+
+
+class TestElementBitmatrix:
+    @pytest.mark.parametrize("w", [3, 4, 8])
+    def test_projection_is_multiplication(self, w):
+        """M_e @ bits(x) == bits(e * x) for every e, sampled x."""
+        gf = GF2w(w)
+        rng = np.random.default_rng(1)
+        for e in range(gf.size):
+            m = element_bitmatrix(gf, e)
+            for x in rng.integers(0, gf.size, 8):
+                x = int(x)
+                bits_x = np.array([(x >> r) & 1 for r in range(w)], dtype=np.uint8)
+                prod = (m.astype(np.int64) @ bits_x) % 2
+                expect = gf.mul(e, x)
+                got = sum(int(prod[r]) << r for r in range(w))
+                assert got == expect, (w, e, x)
+
+    def test_identity_element(self):
+        gf = GF2w(4)
+        assert np.array_equal(element_bitmatrix(gf, 1), np.eye(4, dtype=np.uint8))
+
+    def test_zero_element(self):
+        gf = GF2w(4)
+        assert not element_bitmatrix(gf, 0).any()
+
+    def test_homomorphism(self):
+        """M_{a*b} == M_a @ M_b over GF(2)."""
+        gf = GF2w(4)
+        for a in (3, 7, 9):
+            for b in (2, 11, 15):
+                ma, mb = element_bitmatrix(gf, a), element_bitmatrix(gf, b)
+                mab = element_bitmatrix(gf, gf.mul(a, b))
+                assert np.array_equal((ma.astype(np.int64) @ mb) % 2, mab)

@@ -1,0 +1,150 @@
+"""Tests for the file-level CLI tool."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main, MANIFEST_SUFFIX
+
+
+@pytest.fixture
+def payload_file(tmp_path):
+    path = tmp_path / "data.bin"
+    # Deliberately NOT a multiple of the stripe size (exercises padding).
+    path.write_bytes(bytes(range(256)) * 700 + b"tail")
+    return path
+
+
+def encode(payload_file, tmp_path, **over):
+    argv = ["encode", str(payload_file), "--k", "4", "--element-size", "64",
+            "--out-dir", str(tmp_path / "shards")]
+    for key, val in over.items():
+        argv += [f"--{key}", str(val)]
+    assert main(argv) == 0
+    return tmp_path / "shards" / (payload_file.name + MANIFEST_SUFFIX)
+
+
+class TestEncode:
+    def test_produces_pieces_and_manifest(self, payload_file, tmp_path):
+        manifest = encode(payload_file, tmp_path)
+        meta = json.loads(manifest.read_text())
+        assert meta["k"] == 4 and meta["code"] == "liberation-optimal"
+        shards = manifest.parent
+        for j in range(4):
+            assert (shards / f"data.bin.d{j}").exists()
+        assert (shards / "data.bin.p").exists()
+        assert (shards / "data.bin.q").exists()
+
+    def test_piece_sizes_uniform(self, payload_file, tmp_path):
+        manifest = encode(payload_file, tmp_path)
+        meta = json.loads(manifest.read_text())
+        sizes = {
+            (manifest.parent / name).stat().st_size for name in meta["pieces"]
+        }
+        assert len(sizes) == 1  # all strips equal length
+
+
+class TestDecode:
+    def test_round_trip_no_loss(self, payload_file, tmp_path):
+        manifest = encode(payload_file, tmp_path)
+        out = tmp_path / "restored.bin"
+        assert main(["decode", str(manifest), "-o", str(out)]) == 0
+        assert out.read_bytes() == payload_file.read_bytes()
+
+    @pytest.mark.parametrize("victims", [("d1",), ("d0", "d3"), ("d2", "q"), ("p", "q")])
+    def test_recover_with_losses(self, payload_file, tmp_path, victims):
+        manifest = encode(payload_file, tmp_path)
+        for v in victims:
+            (manifest.parent / f"data.bin.{v}").unlink()
+        out = tmp_path / "restored.bin"
+        assert main(["decode", str(manifest), "-o", str(out)]) == 0
+        assert out.read_bytes() == payload_file.read_bytes()
+
+    def test_three_losses_rejected(self, payload_file, tmp_path):
+        manifest = encode(payload_file, tmp_path)
+        for v in ("d0", "d1", "p"):
+            (manifest.parent / f"data.bin.{v}").unlink()
+        assert main(["decode", str(manifest), "-o", str(tmp_path / "x")]) == 1
+
+    def test_corrupt_piece_treated_as_erasure(self, payload_file, tmp_path):
+        manifest = encode(payload_file, tmp_path)
+        victim = manifest.parent / "data.bin.d2"
+        blob = bytearray(victim.read_bytes())
+        blob[5] ^= 0xFF
+        victim.write_bytes(bytes(blob))
+        out = tmp_path / "restored.bin"
+        assert main(["decode", str(manifest), "-o", str(out)]) == 0
+        assert out.read_bytes() == payload_file.read_bytes()
+
+    def test_repair_rewrites_pieces(self, payload_file, tmp_path):
+        manifest = encode(payload_file, tmp_path)
+        victim = manifest.parent / "data.bin.d1"
+        original = victim.read_bytes()
+        victim.unlink()
+        out = tmp_path / "restored.bin"
+        assert main(["decode", str(manifest), "-o", str(out), "--repair"]) == 0
+        assert victim.read_bytes() == original
+
+    def test_other_codes(self, payload_file, tmp_path):
+        for code in ("evenodd", "rdp", "reed-solomon"):
+            manifest = encode(payload_file, tmp_path / code, code=code)
+            (manifest.parent / "data.bin.d0").unlink()
+            out = tmp_path / f"restored-{code}.bin"
+            assert main(["decode", str(manifest), "-o", str(out)]) == 0
+            assert out.read_bytes() == payload_file.read_bytes()
+
+
+class TestVerify:
+    def test_clean(self, payload_file, tmp_path, capsys):
+        manifest = encode(payload_file, tmp_path)
+        assert main(["verify", str(manifest)]) == 0
+        assert "all pieces present" in capsys.readouterr().out
+
+    def test_recoverable_damage(self, payload_file, tmp_path, capsys):
+        manifest = encode(payload_file, tmp_path)
+        (manifest.parent / "data.bin.d0").unlink()
+        assert main(["verify", str(manifest)]) == 0
+        assert "recoverable" in capsys.readouterr().out
+
+    def test_unrecoverable_damage(self, payload_file, tmp_path, capsys):
+        manifest = encode(payload_file, tmp_path)
+        for v in ("d0", "d1", "d2"):
+            (manifest.parent / f"data.bin.{v}").unlink()
+        assert main(["verify", str(manifest)]) == 1
+        assert "NOT recoverable" in capsys.readouterr().out
+
+
+class TestInfo:
+    def test_prints_table(self, capsys):
+        assert main(["info", "--k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "liberation-optimal" in out and "lower-bound" in out
+
+
+class TestRoundTripProperty:
+    def test_random_sizes_and_losses(self, tmp_path):
+        """Fuzz: arbitrary file sizes (incl. empty-ish and unaligned),
+        arbitrary recoverable loss patterns."""
+        import itertools
+        import random
+
+        rnd = random.Random(0xBEEF)
+        for trial in range(6):
+            size = rnd.choice([1, 63, 64, 4096, 10_001, 99_999])
+            k = rnd.choice([2, 3, 5, 8])
+            src = tmp_path / f"t{trial}.bin"
+            src.write_bytes(rnd.randbytes(size))
+            shard_dir = tmp_path / f"s{trial}"
+            assert main([
+                "encode", str(src), "--k", str(k),
+                "--element-size", "64", "--out-dir", str(shard_dir),
+            ]) == 0
+            manifest = shard_dir / (src.name + MANIFEST_SUFFIX)
+            pieces = [f"d{j}" for j in range(k)] + ["p", "q"]
+            victims = rnd.sample(pieces, rnd.randint(0, 2))
+            for v in victims:
+                (shard_dir / f"{src.name}.{v}").unlink()
+            out = tmp_path / f"o{trial}.bin"
+            assert main(["decode", str(manifest), "-o", str(out)]) == 0
+            assert out.read_bytes() == src.read_bytes(), (trial, size, k, victims)

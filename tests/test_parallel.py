@@ -1,0 +1,93 @@
+"""Tests for batch / multi-threaded stripe coding."""
+
+import numpy as np
+import pytest
+
+from repro.codes import make_code
+from repro.parallel import BatchCoder, alloc_batch
+
+
+@pytest.fixture
+def code():
+    return make_code("liberation-optimal", 4, p=5, element_size=64)
+
+
+def filled_batch(code, n, rng):
+    batch = alloc_batch(code, n)
+    batch[:, : code.k] = rng.integers(
+        0, 2**64, batch[:, : code.k].shape, dtype=np.uint64
+    )
+    return batch
+
+
+class TestAllocBatch:
+    def test_shape(self, code):
+        batch = alloc_batch(code, 5)
+        assert batch.shape == (5, code.total_cols, 5, 8)
+
+    def test_positive_count(self, code):
+        with pytest.raises(ValueError):
+            alloc_batch(code, 0)
+
+
+class TestEncode:
+    def test_matches_per_stripe_encode(self, code, rng):
+        batch = filled_batch(code, 7, rng)
+        expect = batch.copy()
+        for i in range(7):
+            code.encode(expect[i])
+        BatchCoder(code).encode(batch)
+        assert np.array_equal(batch, expect)
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_threaded_identical_to_serial(self, code, rng, workers):
+        batch = filled_batch(code, 23, rng)
+        serial = batch.copy()
+        BatchCoder(code, workers=1).encode(serial)
+        BatchCoder(code, workers=workers).encode(batch)
+        assert np.array_equal(batch, serial)
+
+    def test_single_stripe_batch(self, code, rng):
+        batch = filled_batch(code, 1, rng)
+        BatchCoder(code, workers=4).encode(batch)
+        assert code.verify(batch[0])
+
+    def test_bad_shape_rejected(self, code, rng):
+        with pytest.raises(ValueError):
+            BatchCoder(code).encode(np.zeros((2, 3, 4), dtype=np.uint64))
+
+    def test_workers_validated(self, code):
+        with pytest.raises(ValueError):
+            BatchCoder(code, workers=0)
+
+
+class TestDecode:
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_bulk_reconstruction(self, code, rng, workers):
+        batch = filled_batch(code, 11, rng)
+        BatchCoder(code).encode(batch)
+        ref = batch.copy()
+        batch[:, 1] = rng.integers(0, 2**64, batch[:, 1].shape, dtype=np.uint64)
+        batch[:, 3] = rng.integers(0, 2**64, batch[:, 3].shape, dtype=np.uint64)
+        BatchCoder(code, workers=workers).decode(batch, [1, 3])
+        assert np.array_equal(batch, ref)
+
+    def test_other_code_families(self, rng):
+        for name in ("evenodd", "rdp", "reed-solomon", "cauchy-rs"):
+            kw = {"rows": 4} if name == "reed-solomon" else {}
+            c = make_code(name, 4, element_size=64, **kw)
+            batch = alloc_batch(c, 6)
+            batch[:, :4] = rng.integers(0, 2**64, batch[:, :4].shape, dtype=np.uint64)
+            coder = BatchCoder(c, workers=2)
+            coder.encode(batch)
+            ref = batch.copy()
+            batch[:, 0] = 0
+            batch[:, 5] = 0
+            coder.decode(batch, [0, 5])
+            assert np.array_equal(batch[:, :6], ref[:, :6]), name
+
+    def test_worker_exception_propagates(self, code, rng):
+        batch = filled_batch(code, 4, rng)
+        BatchCoder(code).encode(batch)
+        with pytest.raises(ValueError):
+            BatchCoder(code, workers=2).decode(batch, [0, 1, 2])  # 3 erasures

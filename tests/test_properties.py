@@ -1,0 +1,200 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These complement the exhaustive small-parameter tests with randomized
+exploration of larger parameter spaces: round-trip recovery, schedule
+executor equivalence, field laws, and update/encode consistency.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codes import make_code
+from repro.core.decoder import decode_schedule
+from repro.core.encoder import encode_schedule
+from repro.engine.executor import (
+    StreamingSchedule,
+    compile_schedule,
+    execute_bits,
+)
+from repro.engine.ops import Schedule
+from repro.gf.gf256 import GF256
+from repro.utils.primes import primes_up_to
+
+PRIMES = [p for p in primes_up_to(23) if p != 2]
+
+pk_strategy = st.sampled_from(PRIMES).flatmap(
+    lambda p: st.tuples(st.just(p), st.integers(2, p))
+)
+
+CODE_NAMES = ["liberation-optimal", "liberation-original", "evenodd", "rdp"]
+
+
+def build_code(name, p, k, element_size=8):
+    if name == "rdp":
+        k = min(k, p - 1)
+        if k < 2:
+            k = 2
+    return make_code(name, k, p=p, element_size=element_size)
+
+
+@st.composite
+def code_and_erasures(draw):
+    name = draw(st.sampled_from(CODE_NAMES))
+    p, k = draw(pk_strategy)
+    if name == "rdp" and k >= p:
+        k = p - 1
+    n_ers = draw(st.integers(0, 2))
+    ers = draw(
+        st.lists(
+            st.integers(0, k + 1), min_size=n_ers, max_size=n_ers, unique=True
+        )
+    )
+    return name, p, k, tuple(sorted(ers))
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=120, deadline=None)
+    @given(case=code_and_erasures(), seed=st.integers(0, 2**31))
+    def test_decode_inverts_erasure(self, case, seed):
+        name, p, k, ers = case
+        code = build_code(name, p, k)
+        rng = np.random.default_rng(seed)
+        buf = code.alloc_stripe()
+        buf[: code.k] = rng.integers(0, 2**64, buf[: code.k].shape, dtype=np.uint64)
+        code.encode(buf)
+        ref = buf.copy()
+        for c in ers:
+            buf[c] = rng.integers(0, 2**64, buf[c].shape, dtype=np.uint64)
+        code.decode(buf, list(ers))
+        assert np.array_equal(buf[: code.n_cols], ref[: code.n_cols])
+
+
+class TestUpdateProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        case=code_and_erasures(),
+        seed=st.integers(0, 2**31),
+        n_updates=st.integers(1, 6),
+    )
+    def test_updates_preserve_consistency(self, case, seed, n_updates):
+        """Any sequence of delta updates == full re-encode."""
+        name, p, k, _ = case
+        code = build_code(name, p, k)
+        rng = np.random.default_rng(seed)
+        buf = code.alloc_stripe()
+        buf[: code.k] = rng.integers(0, 2**64, buf[: code.k].shape, dtype=np.uint64)
+        code.encode(buf)
+        for _ in range(n_updates):
+            col = int(rng.integers(0, code.k))
+            row = int(rng.integers(0, code.rows))
+            code.update(
+                buf, col, row, rng.integers(0, 2**64, buf[col, row].shape, dtype=np.uint64)
+            )
+        assert code.verify(buf)
+
+
+class TestLiberationBounds:
+    @settings(max_examples=60, deadline=None)
+    @given(pk=pk_strategy)
+    def test_encode_always_at_bound(self, pk):
+        p, k = pk
+        assert encode_schedule(p, k).n_xors == 2 * p * (k - 1)
+
+    @settings(max_examples=60, deadline=None)
+    @given(pk=pk_strategy, data=st.data())
+    def test_decode_never_below_bound(self, pk, data):
+        p, k = pk
+        l = data.draw(st.integers(0, k - 1))
+        r = data.draw(st.integers(0, k - 1).filter(lambda x: x != l))
+        sched = decode_schedule(p, k, sorted((l, r)))
+        # Information-theoretic floor: each missing bit needs at least
+        # one XOR with something, and the bound is k-1 per bit.
+        assert sched.n_xors >= 2 * p * (k - 1) - 2 * p  # generous floor
+        # ... and the near-optimality ceiling from the paper.
+        assert sched.n_xors <= 2 * p * (k - 1) * 1.30 + 4 * p
+
+
+class TestExecutorEquivalence:
+    @st.composite
+    def schedules(draw):
+        cols = draw(st.integers(2, 6))
+        rows = draw(st.integers(1, 5))
+        n_ops = draw(st.integers(1, 80))
+        rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+        s = Schedule(cols, rows)
+        for _ in range(n_ops):
+            dst = (int(rng.integers(0, cols)), int(rng.integers(0, rows)))
+            src = (int(rng.integers(0, cols)), int(rng.integers(0, rows)))
+            if dst == src:
+                continue
+            if not s.touched(dst) or rng.random() < 0.2:
+                s.copy_cell(dst, src)
+            else:
+                s.accumulate(dst, src)
+        return s
+
+    @settings(max_examples=100, deadline=None)
+    @given(sched=schedules(), seed=st.integers(0, 2**31))
+    def test_three_executors_agree(self, sched, seed):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, (sched.cols, sched.rows)).astype(np.uint8)
+        words = bits.astype(np.uint64)[:, :, None]
+        streaming = words.copy()
+        execute_bits(sched, bits)
+        compile_schedule(sched).run(words)
+        StreamingSchedule(sched).run(streaming)
+        assert np.array_equal(words[:, :, 0], bits.astype(np.uint64))
+        assert np.array_equal(streaming, words)
+
+    @settings(max_examples=60, deadline=None)
+    @given(sched=schedules())
+    def test_xor_count_invariant_under_compilation(self, sched):
+        """Compilation may fuse ops but never changes the declared cost."""
+        before = sched.n_xors
+        compile_schedule(sched)
+        assert sched.n_xors == before
+
+
+class TestGF256Properties:
+    gf = GF256()
+
+    @settings(max_examples=200, deadline=None)
+    @given(a=st.integers(0, 255), b=st.integers(0, 255), c=st.integers(0, 255))
+    def test_ring_axioms(self, a, b, c):
+        gf = self.gf
+        assert int(gf.mul(a, b)) == int(gf.mul(b, a))
+        assert int(gf.mul(gf.mul(a, b), c)) == int(gf.mul(a, gf.mul(b, c)))
+        assert int(gf.mul(a, b ^ c)) == int(gf.mul(a, b)) ^ int(gf.mul(a, c))
+
+    @settings(max_examples=100, deadline=None)
+    @given(a=st.integers(1, 255))
+    def test_inverse(self, a):
+        assert int(self.gf.mul(a, self.gf.inverse(a))) == 1
+
+
+class TestErrorCorrectionProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        pk=pk_strategy,
+        col_seed=st.integers(0, 2**31),
+    )
+    def test_any_single_column_corruption_corrected(self, pk, col_seed):
+        from repro.core.error_correction import ScanStatus, locate_and_correct
+
+        p, k = pk
+        code = make_code("liberation-optimal", k, p=p, element_size=8)
+        rng = np.random.default_rng(col_seed)
+        buf = code.alloc_stripe()
+        buf[:k] = rng.integers(0, 2**64, buf[:k].shape, dtype=np.uint64)
+        code.encode(buf)
+        ref = buf.copy()
+        col = int(rng.integers(0, k + 2))
+        n = int(rng.integers(1, p + 1))
+        rows = rng.choice(p, size=n, replace=False)
+        for r in rows:
+            buf[col, r] ^= rng.integers(1, 2**64, buf[col, r].shape, dtype=np.uint64)
+        res = locate_and_correct(code.geometry, buf)
+        assert res.status is ScanStatus.CORRECTED
+        assert res.column == col
+        assert np.array_equal(buf, ref)

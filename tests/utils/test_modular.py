@@ -1,0 +1,61 @@
+"""Tests for repro.utils.modular."""
+
+import pytest
+
+from repro.utils.modular import Mod, mod_inverse
+
+
+class TestModInverse:
+    @pytest.mark.parametrize("p", [3, 5, 7, 11, 13, 31])
+    def test_inverse_property(self, p):
+        for a in range(1, p):
+            assert (a * mod_inverse(a, p)) % p == 1
+
+    def test_zero_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            mod_inverse(0, 7)
+        with pytest.raises(ZeroDivisionError):
+            mod_inverse(14, 7)  # congruent to zero
+
+    def test_negative_operand(self):
+        assert (-3 * mod_inverse(-3, 7)) % 7 == 1
+
+
+class TestMod:
+    def test_call_matches_python_mod(self):
+        m = Mod(7)
+        for x in range(-30, 30):
+            assert m(x) == x % 7
+
+    def test_half_constants(self):
+        m = Mod(5)
+        assert m.half_minus == 2
+        assert m.half_plus == 3
+        m31 = Mod(31)
+        assert m31.half_minus == 15
+        assert m31.half_plus == 16
+
+    def test_halves_are_two_inverses(self):
+        # (p+1)/2 is the inverse of 2; (p-1)/2 is the inverse of -2.
+        for p in [3, 5, 7, 11, 13]:
+            m = Mod(p)
+            assert (2 * m.half_plus) % p == 1
+            assert (-2 * m.half_minus) % p == 1
+
+    def test_rejects_even_or_small(self):
+        with pytest.raises(ValueError):
+            Mod(4)
+        with pytest.raises(ValueError):
+            Mod(1)
+        with pytest.raises(ValueError):
+            Mod(2)
+
+    def test_inv_method(self):
+        m = Mod(11)
+        for a in range(1, 11):
+            assert m(a * m.inv(a)) == 1
+
+    def test_frozen(self):
+        m = Mod(5)
+        with pytest.raises(Exception):
+            m.p = 7

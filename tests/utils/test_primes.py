@@ -1,0 +1,104 @@
+"""Tests for repro.utils.primes."""
+
+import pytest
+
+from repro.utils.primes import is_prime, is_odd_prime, next_prime, primes_up_to, prime_for_k
+
+
+KNOWN_PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61]
+
+
+class TestIsPrime:
+    def test_known_primes(self):
+        for p in KNOWN_PRIMES:
+            assert is_prime(p), p
+
+    def test_known_composites(self):
+        for n in [0, 1, 4, 6, 8, 9, 15, 21, 25, 27, 33, 49, 51, 91, 121]:
+            assert not is_prime(n), n
+
+    def test_negative(self):
+        assert not is_prime(-7)
+
+    def test_large_prime_and_composite(self):
+        assert is_prime(7919)  # 1000th prime
+        assert not is_prime(7917)
+        assert not is_prime(7921)  # 89^2
+
+    def test_square_of_prime(self):
+        # Exercises the f*f <= n boundary.
+        for p in [5, 7, 11, 13]:
+            assert not is_prime(p * p)
+
+    def test_agreement_with_sieve(self):
+        sieve = set(primes_up_to(500))
+        for n in range(500):
+            assert is_prime(n) == (n in sieve), n
+
+
+class TestIsOddPrime:
+    def test_two_is_excluded(self):
+        assert not is_odd_prime(2)
+
+    def test_odd_primes_pass(self):
+        for p in [3, 5, 7, 31]:
+            assert is_odd_prime(p)
+
+    def test_composites_fail(self):
+        assert not is_odd_prime(9)
+
+
+class TestNextPrime:
+    def test_at_prime_returns_itself(self):
+        assert next_prime(11) == 11
+
+    def test_skips_two_by_default(self):
+        assert next_prime(2) == 3
+        assert next_prime(0) == 3
+
+    def test_allows_two_when_asked(self):
+        assert next_prime(2, odd=False) == 2
+
+    def test_between_primes(self):
+        assert next_prime(8) == 11
+        assert next_prime(24) == 29
+
+    def test_monotone(self):
+        values = [next_prime(n) for n in range(2, 100)]
+        assert values == sorted(values)
+        for n, v in zip(range(2, 100), values):
+            assert v >= n
+
+
+class TestPrimesUpTo:
+    def test_empty_below_two(self):
+        assert primes_up_to(1) == []
+        assert primes_up_to(0) == []
+
+    def test_small(self):
+        assert primes_up_to(2) == [2]
+        assert primes_up_to(20) == [2, 3, 5, 7, 11, 13, 17, 19]
+
+    def test_inclusive_limit(self):
+        assert 31 in primes_up_to(31)
+
+    def test_count_below_1000(self):
+        assert len(primes_up_to(1000)) == 168
+
+
+class TestPrimeForK:
+    def test_paper_configurations(self):
+        # 'p varying with k': smallest odd prime >= k.
+        assert prime_for_k(2) == 3
+        assert prime_for_k(4) == 5
+        assert prime_for_k(6) == 7
+        assert prime_for_k(8) == 11
+        assert prime_for_k(23) == 23
+
+    def test_k_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            prime_for_k(1)
+
+    def test_result_admits_k(self):
+        for k in range(2, 60):
+            assert prime_for_k(k) >= k

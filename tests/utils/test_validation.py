@@ -1,0 +1,70 @@
+"""Tests for repro.utils.validation."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_element_size,
+    check_erasures,
+    check_k,
+    check_prime_p,
+)
+
+
+class TestCheckPrimeP:
+    def test_accepts_odd_primes(self):
+        for p in [3, 5, 7, 31]:
+            assert check_prime_p(p) == p
+
+    @pytest.mark.parametrize("bad", [2, 4, 9, 1, 0, -5, 15])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_prime_p(bad)
+
+    def test_coerces_to_int(self):
+        assert check_prime_p(7.0) == 7
+
+
+class TestCheckK:
+    def test_in_range(self):
+        assert check_k(5, 7) == 5
+        assert check_k(7, 7) == 7
+
+    def test_too_small(self):
+        with pytest.raises(ValueError, match="at least k=2"):
+            check_k(1, 7)
+
+    def test_too_large_names_code(self):
+        with pytest.raises(ValueError, match="rdp"):
+            check_k(8, 7, code="rdp")
+
+
+class TestCheckElementSize:
+    def test_valid(self):
+        assert check_element_size(8) == 8
+        assert check_element_size(8192) == 8192
+
+    @pytest.mark.parametrize("bad", [0, 4, -8, 10])
+    def test_invalid(self, bad):
+        with pytest.raises(ValueError):
+            check_element_size(bad)
+
+
+class TestCheckErasures:
+    def test_canonical_sorted_tuple(self):
+        assert check_erasures([4, 1], 6) == (1, 4)
+        assert check_erasures((), 6) == ()
+        assert check_erasures([3], 6) == (3,)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            check_erasures([2, 2], 6)
+
+    def test_three_erasures_rejected(self):
+        with pytest.raises(ValueError, match="at most 2"):
+            check_erasures([0, 1, 2], 6)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            check_erasures([6], 6)
+        with pytest.raises(ValueError, match="out of range"):
+            check_erasures([-1], 6)

@@ -1,0 +1,73 @@
+"""Tests for repro.utils.words."""
+
+import numpy as np
+import pytest
+
+from repro.utils.words import (
+    WORD_BYTES,
+    WORD_DTYPE,
+    alloc_stripe,
+    bytes_to_words,
+    element_words,
+    random_words,
+    words_to_bytes,
+)
+
+
+class TestElementWords:
+    def test_basic(self):
+        assert element_words(8) == 1
+        assert element_words(4096) == 512
+
+    @pytest.mark.parametrize("bad", [0, -8, 7, 12, 4097])
+    def test_invalid(self, bad):
+        with pytest.raises(ValueError):
+            element_words(bad)
+
+
+class TestByteConversion:
+    def test_round_trip(self):
+        data = bytes(range(48))
+        assert words_to_bytes(bytes_to_words(data)) == data
+
+    def test_little_endian_word_layout(self):
+        w = bytes_to_words(b"\x01" + b"\x00" * 7)
+        assert w[0] == 1
+
+    def test_rejects_partial_word(self):
+        with pytest.raises(ValueError):
+            bytes_to_words(b"\x00" * 9)
+
+    def test_copy_semantics(self):
+        data = bytearray(16)
+        w = bytes_to_words(data)
+        data[0] = 0xFF
+        assert w[0] == 0  # not a view of the caller's buffer
+
+
+class TestRandomWords:
+    def test_deterministic(self):
+        a = random_words(16, seed=7)
+        b = random_words(16, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_shape_and_dtype(self):
+        a = random_words((3, 4), seed=1)
+        assert a.shape == (3, 4) and a.dtype == WORD_DTYPE
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(random_words(64, seed=1), random_words(64, seed=2))
+
+
+class TestAllocStripe:
+    def test_shape(self):
+        s = alloc_stripe(7, 5, 4096)
+        assert s.shape == (7, 5, 512)
+        assert s.dtype == WORD_DTYPE
+        assert not s.any()
+
+    def test_c_contiguous(self):
+        assert alloc_stripe(4, 3, 16).flags["C_CONTIGUOUS"]
+
+    def test_word_size_constant(self):
+        assert WORD_BYTES == 8
