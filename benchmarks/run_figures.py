@@ -5,14 +5,17 @@ Standalone alternative to ``pytest benchmarks/ --benchmark-only``:
 
     python benchmarks/run_figures.py [--quick]
 
-Writes paper-format text series under ``results/`` and prints them.
-``--quick`` shrinks sweeps for a fast smoke run.
+Writes paper-format text series under ``results/`` and prints them;
+the same data also lands machine-readable in
+``results/BENCH_figures.json`` so the performance trajectory is
+diffable across runs.  ``--quick`` shrinks sweeps for a fast smoke run.
 """
 
 from __future__ import annotations
 
 import argparse
 import pathlib
+import platform
 import sys
 import time
 
@@ -21,7 +24,7 @@ from repro.bench.complexity import (
     encoding_complexity_series,
     table1_rows,
 )
-from repro.bench.report import format_table, save_series
+from repro.bench.report import format_table, save_json_report, save_series
 from repro.bench.throughput import (
     decode_throughput_series,
     element_size_series,
@@ -30,10 +33,14 @@ from repro.bench.throughput import (
 
 RESULTS = pathlib.Path(__file__).resolve().parent.parent / "results"
 
+#: Every series emitted by this run, accumulated for the JSON report.
+_SERIES: list[dict] = []
+
 
 def emit(name: str, rows, title: str) -> None:
     print(format_table(rows, title=title))
     save_series(name, rows, title=title, base=RESULTS)
+    _SERIES.append({"name": name, "title": title, "rows": list(rows)})
 
 
 def main(argv=None) -> int:
@@ -115,7 +122,17 @@ def main(argv=None) -> int:
             f"Fig. 13: decode GB/s, p = 31 ({kb}KB)",
         )
 
-    print(f"done in {time.time() - t0:.1f}s; series under {RESULTS}/")
+    json_path = save_json_report(
+        "BENCH_figures.json",
+        _SERIES,
+        base=RESULTS,
+        quick=args.quick,
+        elapsed_s=round(time.time() - t0, 2),
+        python=platform.python_version(),
+        machine=platform.machine(),
+    )
+    print(f"done in {time.time() - t0:.1f}s; series under {RESULTS}/, "
+          f"machine-readable report at {json_path}")
     return 0
 
 

@@ -27,6 +27,8 @@ Packages:
 * :mod:`repro.engine` -- XOR schedules and their executors.
 * :mod:`repro.array` -- a RAID-6 array simulator (disks, stripes,
   degraded I/O, rebuild, scrubbing, fault injection).
+* :mod:`repro.cluster` -- the distributed stripe store: asyncio strip
+  nodes, degraded reads over the network, background rebuild, metrics.
 * :mod:`repro.bench` -- harness regenerating the paper's tables/figures.
 """
 
@@ -53,6 +55,13 @@ from repro.core import (
 from repro.engine import Schedule, XorOp
 from repro.array import RAID6Array, Scrubber, FaultInjector
 from repro.parallel import BatchCoder, alloc_batch
+from repro.cluster import (
+    ClusterArray,
+    LocalCluster,
+    RebuildScheduler,
+    RetryPolicy,
+    StripNode,
+)
 
 __version__ = "1.0.0"
 
@@ -80,5 +89,10 @@ __all__ = [
     "FaultInjector",
     "BatchCoder",
     "alloc_batch",
+    "ClusterArray",
+    "LocalCluster",
+    "RebuildScheduler",
+    "RetryPolicy",
+    "StripNode",
     "__version__",
 ]

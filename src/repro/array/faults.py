@@ -5,6 +5,14 @@ seedable scenarios used by the examples and the failure-injection
 tests (double failures during rebuild, latent errors surfacing during
 recovery -- the §I motivation for RAID-6 -- and silent corruption for
 the scrubber).
+
+:class:`NetworkFaultPlan` extends the same vocabulary to the
+*distributed* array (:mod:`repro.cluster`): instead of a disk
+misbehaving, a node's network service does -- added latency, dropped
+connections mid-frame, corrupted frames, transient I/O errors.  The
+plan is a plain dataclass so tests can install it directly on an
+in-process :class:`~repro.cluster.node.StripNode` or ship it over the
+wire via the ``fault`` verb.
 """
 
 from __future__ import annotations
@@ -15,7 +23,59 @@ import numpy as np
 
 from repro.array.raid6 import RAID6Array
 
-__all__ = ["FaultInjector", "InjectionLog"]
+__all__ = ["ALWAYS", "FaultInjector", "InjectionLog", "NetworkFaultPlan"]
+
+#: Sentinel count meaning "every request", forever.
+ALWAYS = -1
+
+
+@dataclass
+class NetworkFaultPlan:
+    """Injectable misbehaviour of one node's data plane.
+
+    Counted fields are budgets: ``0`` disables the fault, ``n > 0``
+    applies it to the next ``n`` data requests, :data:`ALWAYS` (-1)
+    applies it unconditionally.  Control verbs (``stats``, ``fault``,
+    ``shutdown``) are never faulted, so an operator can always reach a
+    sick node.
+    """
+
+    #: seconds of artificial service delay per data request
+    latency: float = 0.0
+    #: reply with an ``io-error`` instead of serving
+    fail_requests: int = 0
+    #: close the connection after sending half of the reply frame
+    drop_mid_frame: int = 0
+    #: flip one payload byte of the reply frame (CRC goes stale, so the
+    #: client sees a checksum failure, not silent corruption)
+    corrupt_frames: int = 0
+
+    def consume(self, kind: str) -> bool:
+        """Whether fault ``kind`` fires now (decrements finite budgets)."""
+        budget = getattr(self, kind)
+        if budget == 0:
+            return False
+        if budget > 0:
+            setattr(self, kind, budget - 1)
+        return True
+
+    def to_header(self) -> dict:
+        """Wire form for the ``fault`` verb."""
+        return {
+            "latency": self.latency,
+            "fail_requests": self.fail_requests,
+            "drop_mid_frame": self.drop_mid_frame,
+            "corrupt_frames": self.corrupt_frames,
+        }
+
+    @classmethod
+    def from_header(cls, header: dict) -> "NetworkFaultPlan":
+        return cls(
+            latency=float(header.get("latency", 0.0)),
+            fail_requests=int(header.get("fail_requests", 0)),
+            drop_mid_frame=int(header.get("drop_mid_frame", 0)),
+            corrupt_frames=int(header.get("corrupt_frames", 0)),
+        )
 
 
 @dataclass

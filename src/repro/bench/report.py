@@ -9,10 +9,12 @@ benchmark harness prints, and :func:`save_series` writes them under
 
 from __future__ import annotations
 
+import json
 import pathlib
+import time
 from collections.abc import Sequence
 
-__all__ = ["format_table", "save_series", "results_dir"]
+__all__ = ["format_table", "save_series", "save_json_report", "results_dir"]
 
 
 def results_dir(base: str | pathlib.Path | None = None) -> pathlib.Path:
@@ -59,4 +61,37 @@ def save_series(
     """Render and persist a series under ``results/<name>.txt``."""
     path = results_dir(base) / f"{name}.txt"
     path.write_text(format_table(rows, title=title))
+    return path
+
+
+def save_json_report(
+    filename: str,
+    series: Sequence[dict],
+    *,
+    base=None,
+    **meta,
+) -> pathlib.Path:
+    """Persist every series of a run as one machine-readable JSON file.
+
+    ``series`` is a list of ``{"name", "title", "rows"}`` dicts (the
+    same rows :func:`save_series` renders as text); extra keyword
+    arguments land in the top-level object, so a run can stamp its
+    configuration.  The aligned ``results/*.txt`` files stay the
+    human-facing view; this file is the one tooling diffs across PRs
+    to track the performance trajectory.
+    """
+    path = results_dir(base) / filename
+    payload = {
+        "generated_unix": time.time(),
+        **meta,
+        "series": [
+            {
+                "name": s["name"],
+                "title": s.get("title"),
+                "rows": list(s["rows"]),
+            }
+            for s in series
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
     return path

@@ -16,11 +16,20 @@ A JSON *manifest* records the code configuration, original length and
 per-piece SHA-256 digests, so decoding detects silent corruption of
 individual pieces (and, for Liberation codes, can locate/repair a
 single corrupted piece via the paper's error-correction procedure).
+
+The distributed stripe store (:mod:`repro.cluster`) is operated from
+here too:
+
+::
+
+    python -m repro.cli serve --column 0 --stripes 64 --k 4   # one per column
+    python -m repro.cli stats 127.0.0.1:9100 127.0.0.1:9101   # metrics view
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import hashlib
 import json
 import pathlib
@@ -200,6 +209,76 @@ def cmd_info(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.cluster.node import StripNode
+
+    code = make_code(args.code, args.k, element_size=args.element_size,
+                     **({"p": args.p} if args.p else {}))
+    if not 0 <= args.column < code.n_cols:
+        print(f"error: --column must be in [0, {code.n_cols}) for k={code.k} "
+              f"(columns 0..{code.k - 1} data, {code.p_col} P, {code.q_col} Q)",
+              file=sys.stderr)
+        return 2
+    strip_words = code.rows * (code.element_size // 8)
+
+    async def run() -> int:
+        node = StripNode(
+            args.column, args.stripes, strip_words, host=args.host, port=args.port
+        )
+        host, port = await node.start()
+        print(f"strip node: column {args.column} of {code.name} k={code.k}, "
+              f"{args.stripes} strips x {strip_words * 8} B, "
+              f"listening on {host}:{port}", flush=True)
+        if args.port_file:
+            # Written only once the socket is bound, so orchestrators
+            # (and the test suite) can wait on it instead of polling.
+            pathlib.Path(args.port_file).write_text(str(port))
+        await node.serve_until_shutdown()
+        print(f"strip node on {host}:{port} shut down")
+        return 0
+
+    return asyncio.run(run())
+
+
+def _parse_address(spec: str) -> tuple[str, int]:
+    host, _, port = spec.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"address {spec!r} is not HOST:PORT")
+    return host, int(port)
+
+
+def cmd_stats(args) -> int:
+    from repro.bench.report import format_table
+    from repro.cluster.client import send_verb
+    from repro.cluster.metrics import MetricsRegistry
+
+    async def run() -> int:
+        rc = 0
+        for spec in args.nodes:
+            address = _parse_address(spec)
+            try:
+                reply, _ = await asyncio.wait_for(
+                    send_verb(address, "stats"), args.timeout
+                )
+            except (OSError, EOFError, asyncio.TimeoutError, TimeoutError) as exc:
+                print(f"node {spec}: unreachable ({type(exc).__name__})")
+                rc = 1
+                continue
+            rows = [{"metric": "column", "value": reply.get("column")}]
+            rows += MetricsRegistry.rows(reply.get("stats", {}))
+            rows += [
+                {"metric": f"disk_{key}", "value": value}
+                for key, value in reply.get("disk", {}).items()
+            ]
+            print(format_table(rows, title=f"node {spec}"))
+            if args.shutdown:
+                await send_verb(address, "shutdown")
+                print(f"node {spec}: shutdown acknowledged")
+        return rc
+
+    return asyncio.run(run())
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli", description="RAID-6 Liberation-code file erasure tool"
@@ -229,6 +308,26 @@ def build_parser() -> argparse.ArgumentParser:
     info = sub.add_parser("info", help="print the code-comparison table")
     info.add_argument("--k", type=int, default=10)
     info.set_defaults(func=cmd_info)
+
+    srv = sub.add_parser("serve", help="run one strip node of a cluster")
+    srv.add_argument("--column", type=int, default=0, help="logical column served")
+    srv.add_argument("--stripes", type=int, default=64, help="strips stored")
+    srv.add_argument("--k", type=int, default=6, help="data columns of the code")
+    srv.add_argument("--p", type=int, default=None, help="prime (default: minimal)")
+    srv.add_argument("--code", default="liberation-optimal", choices=available_codes())
+    srv.add_argument("--element-size", type=int, default=4096)
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=0, help="0 picks an ephemeral port")
+    srv.add_argument("--port-file", default=None,
+                     help="write the bound port here once listening")
+    srv.set_defaults(func=cmd_serve)
+
+    st = sub.add_parser("stats", help="print strip-node metrics")
+    st.add_argument("nodes", nargs="+", metavar="HOST:PORT")
+    st.add_argument("--timeout", type=float, default=2.0)
+    st.add_argument("--shutdown", action="store_true",
+                    help="ask each node to shut down after reporting")
+    st.set_defaults(func=cmd_stats)
     return parser
 
 

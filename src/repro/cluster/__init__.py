@@ -1,0 +1,66 @@
+"""repro.cluster -- the distributed stripe store.
+
+The paper's encode/decode kernels, lifted from a single-process
+simulator to separate failure domains: each of the ``k + 2`` columns
+lives on its own asyncio TCP :class:`~repro.cluster.node.StripNode`,
+and a :class:`~repro.cluster.client.ClusterArray` client stripes
+writes across them, serves degraded reads by decoding survivor strips
+(the optimal Algorithm 4 path for Liberation codes), and rebuilds lost
+columns in the background via
+:class:`~repro.cluster.rebuild.RebuildScheduler`.
+
+Modules:
+
+* :mod:`repro.cluster.protocol` -- length-prefixed CRC-32 framing;
+* :mod:`repro.cluster.node` -- the per-column strip server;
+* :mod:`repro.cluster.client` -- retrying RPC + the striped array;
+* :mod:`repro.cluster.rebuild` -- background batch rebuild;
+* :mod:`repro.cluster.metrics` -- counters/histograms behind the
+  ``stats`` verb and the ``repro stats`` CLI view;
+* :mod:`repro.cluster.local` -- an in-process ``k + 2``-node cluster
+  for tests and examples.
+"""
+
+from repro.cluster.client import (
+    ClusterArray,
+    ClusterDegradedError,
+    ClusterError,
+    NodeClient,
+    NodeUnavailableError,
+    RemoteDiskError,
+    RetryPolicy,
+    send_verb,
+)
+from repro.cluster.local import LocalCluster
+from repro.cluster.metrics import Counter, Histogram, MetricsRegistry
+from repro.cluster.node import StripNode
+from repro.cluster.protocol import (
+    FrameChecksumError,
+    ProtocolError,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+from repro.cluster.rebuild import RebuildScheduler
+
+__all__ = [
+    "ClusterArray",
+    "ClusterDegradedError",
+    "ClusterError",
+    "Counter",
+    "FrameChecksumError",
+    "Histogram",
+    "LocalCluster",
+    "MetricsRegistry",
+    "NodeClient",
+    "NodeUnavailableError",
+    "ProtocolError",
+    "RebuildScheduler",
+    "RemoteDiskError",
+    "RetryPolicy",
+    "StripNode",
+    "encode_frame",
+    "read_frame",
+    "send_verb",
+    "write_frame",
+]

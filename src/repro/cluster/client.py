@@ -1,0 +1,408 @@
+"""Cluster client: per-node RPC with retries, and the striped array.
+
+:class:`NodeClient` is the transport layer -- one request per
+connection, a per-request timeout, bounded retries with exponential
+backoff, and a metrics trail of every timeout, checksum failure and
+reconnect.  :class:`ClusterArray` is the data path: it stripes
+full-stripe writes across ``k + 2`` :class:`~repro.cluster.node.StripNode`
+servers (column ``c`` lives on node ``c``; the cluster relies on node
+placement, not rotation, for failure independence), serves **degraded
+reads** by pulling survivor strips and decoding with the configured
+code (the paper's Algorithm 4 path for ``liberation-optimal``, plan
+cached per erasure pattern), and degrades gracefully while any two
+nodes are unreachable or faulty.
+
+Everything here is asyncio-native; the CLI and examples wrap entry
+points in ``asyncio.run``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.metrics import MetricsRegistry
+from repro.cluster.protocol import FrameChecksumError, ProtocolError, read_frame, write_frame
+from repro.codes.base import RAID6Code
+from repro.utils.words import WORD_DTYPE
+
+__all__ = [
+    "RetryPolicy",
+    "ClusterError",
+    "NodeUnavailableError",
+    "RemoteDiskError",
+    "ClusterDegradedError",
+    "NodeClient",
+    "ClusterArray",
+    "send_verb",
+]
+
+
+class ClusterError(Exception):
+    """Base class for distributed-array failures."""
+
+
+class NodeUnavailableError(ClusterError):
+    """A node stayed unreachable/faulty through the whole retry budget."""
+
+
+class RemoteDiskError(ClusterError):
+    """The node answered, but its disk could not serve the strip."""
+
+
+class ClusterDegradedError(ClusterError):
+    """More columns are lost than the code can reconstruct."""
+
+
+@dataclass
+class RetryPolicy:
+    """Per-request robustness knobs.
+
+    ``timeout`` bounds every attempt; transport failures (refused /
+    dropped connections, timeouts, frame checksum mismatches) are
+    retried up to ``attempts`` times with exponential backoff starting
+    at ``backoff`` seconds.  Deterministic node answers -- a latent
+    sector error, a failed disk -- are *not* retried: replaying them
+    cannot succeed, the erasure code is the retry.
+    """
+
+    attempts: int = 3
+    timeout: float = 2.0
+    backoff: float = 0.02
+    multiplier: float = 2.0
+    max_backoff: float = 0.5
+
+    def delays(self):
+        d = self.backoff
+        for _ in range(max(0, self.attempts - 1)):
+            yield d
+            d = min(d * self.multiplier, self.max_backoff)
+
+
+async def send_verb(
+    address: tuple[str, int], verb: str, header: dict | None = None, payload: bytes = b""
+) -> tuple[dict, bytes]:
+    """One-shot request with no retry (control-plane helper)."""
+    reader, writer = await asyncio.open_connection(*address)
+    try:
+        await write_frame(writer, {"verb": verb, **(header or {})}, payload)
+        return await read_frame(reader)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class NodeClient:
+    """Retrying RPC channel to one strip node."""
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        *,
+        policy: RetryPolicy | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.address = (str(address[0]), int(address[1]))
+        self.policy = policy or RetryPolicy()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    async def _attempt(self, header: dict, payload: bytes) -> tuple[dict, bytes]:
+        reader, writer = await asyncio.open_connection(*self.address)
+        try:
+            await write_frame(writer, header, payload)
+            return await read_frame(reader)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def request(
+        self, verb: str, header: dict | None = None, payload: bytes = b""
+    ) -> tuple[dict, bytes]:
+        """Issue one verb; returns ``(reply_header, reply_payload)``.
+
+        Raises :class:`RemoteDiskError` for ``latent`` / ``disk-failed``
+        answers and :class:`NodeUnavailableError` once the retry budget
+        is exhausted by transport-level failures.
+        """
+        full_header = {"verb": verb, **(header or {})}
+        policy = self.policy
+        delays = policy.delays()
+        loop = asyncio.get_running_loop()
+        self.metrics.counter("requests").inc()
+        for attempt in range(policy.attempts):
+            t0 = loop.time()
+            try:
+                reply, data = await asyncio.wait_for(
+                    self._attempt(full_header, payload), policy.timeout
+                )
+            except (asyncio.TimeoutError, TimeoutError):
+                self.metrics.counter("timeouts").inc()
+            except FrameChecksumError:
+                self.metrics.counter("frame_errors").inc()
+            except ProtocolError:
+                self.metrics.counter("frame_errors").inc()
+            except (ConnectionError, EOFError, OSError):
+                self.metrics.counter("connection_errors").inc()
+            else:
+                self.metrics.histogram("request_latency_s").observe(loop.time() - t0)
+                if reply.get("status") == "ok":
+                    return reply, data
+                error = reply.get("error", "unknown")
+                if error in ("latent", "disk-failed"):
+                    raise RemoteDiskError(
+                        f"{self.address}: {error}: {reply.get('detail', '')}"
+                    )
+                # Transient server-side conditions (injected io-error,
+                # overload): spend a retry on them.
+                self.metrics.counter("remote_errors").inc()
+            if attempt < policy.attempts - 1:
+                self.metrics.counter("retries").inc()
+                await asyncio.sleep(next(delays))
+        raise NodeUnavailableError(
+            f"node {self.address} unreachable after {policy.attempts} attempts"
+        )
+
+
+class ClusterArray:
+    """A RAID-6 array whose strips live on ``k + 2`` network nodes.
+
+    The mirror image of :class:`repro.array.raid6.RAID6Array` with the
+    disk accesses replaced by concurrent RPCs.  Reads always succeed
+    while at most two columns are lost (in any mix of stopped nodes,
+    network faults and disk errors); writes skip unreachable columns
+    the way a degraded array skips failed disks, leaving the stripe
+    recoverable through the parity that *was* written.
+    """
+
+    def __init__(
+        self,
+        code: RAID6Code,
+        addresses: list[tuple[str, int]],
+        n_stripes: int,
+        *,
+        policy: RetryPolicy | None = None,
+    ) -> None:
+        if len(addresses) != code.n_cols:
+            raise ValueError(
+                f"need {code.n_cols} node addresses (k+2), got {len(addresses)}"
+            )
+        if n_stripes <= 0:
+            raise ValueError("n_stripes must be positive")
+        self.code = code
+        self.n_stripes = int(n_stripes)
+        self.policy = policy or RetryPolicy()
+        self.metrics = MetricsRegistry()
+        self.clients = [
+            NodeClient(addr, policy=self.policy, metrics=self.metrics)
+            for addr in addresses
+        ]
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    def stripe_data_bytes(self) -> int:
+        return self.code.data_bytes
+
+    @property
+    def capacity(self) -> int:
+        """User-addressable bytes."""
+        return self.n_stripes * self.stripe_data_bytes
+
+    def _check_stripe(self, stripe: int) -> None:
+        if not 0 <= stripe < self.n_stripes:
+            raise IndexError(f"stripe {stripe} out of range [0, {self.n_stripes})")
+
+    def replace_node(self, column: int, address: tuple[str, int]) -> None:
+        """Point a column at a replacement node (post-rebuild)."""
+        self.clients[column] = NodeClient(
+            address, policy=self.policy, metrics=self.metrics
+        )
+
+    # -- strip RPCs --------------------------------------------------------
+
+    async def _fetch_strip(self, column: int, stripe: int) -> np.ndarray:
+        _, payload = await self.clients[column].request("get", {"stripe": stripe})
+        words = np.frombuffer(payload, dtype=WORD_DTYPE)
+        expected = self.code.rows * (self.code.element_size // 8)
+        if words.size != expected:
+            raise ProtocolError(
+                f"column {column} returned {words.size} words, expected {expected}"
+            )
+        return words.reshape(self.code.rows, -1)
+
+    async def _store_strip(self, column: int, stripe: int, strip: np.ndarray) -> None:
+        await self.clients[column].request(
+            "put", {"stripe": stripe}, np.ascontiguousarray(strip).tobytes()
+        )
+
+    async def _gather_columns(
+        self, stripe: int, columns: list[int], buf: np.ndarray
+    ) -> list[int]:
+        """Fetch ``columns`` into ``buf`` concurrently; returns the losers."""
+        results = await asyncio.gather(
+            *(self._fetch_strip(c, stripe) for c in columns), return_exceptions=True
+        )
+        missing: list[int] = []
+        for col, res in zip(columns, results):
+            if isinstance(res, (NodeUnavailableError, RemoteDiskError)):
+                missing.append(col)
+            elif isinstance(res, BaseException):
+                raise res
+            else:
+                buf[col] = res
+        return missing
+
+    # -- stripe I/O --------------------------------------------------------
+
+    async def read_stripe(self, stripe: int) -> np.ndarray:
+        """Assemble one stripe buffer, decoding around lost columns.
+
+        The sunny-day path touches only the ``k`` data columns; any
+        loss widens the fetch to the parity columns and runs the
+        erasure decode on the survivors.
+        """
+        self._check_stripe(stripe)
+        code = self.code
+        buf = code.alloc_stripe()
+        missing = await self._gather_columns(stripe, list(range(code.k)), buf)
+        if missing:
+            parity_lost = await self._gather_columns(
+                stripe, [code.p_col, code.q_col], buf
+            )
+            missing = sorted(missing + parity_lost)
+            if len(missing) > 2:
+                raise ClusterDegradedError(
+                    f"stripe {stripe}: columns {missing} lost; RAID-6 tolerates 2"
+                )
+            for col in missing:
+                buf[col] = 0
+            code.decode(buf, missing)
+            self.metrics.counter("decodes").inc()
+            self.metrics.counter("degraded_reads").inc()
+        return buf
+
+    async def write_stripe(
+        self, stripe: int, buf: np.ndarray, *, columns: list[int] | None = None
+    ) -> list[int]:
+        """Scatter (selected columns of) a stripe buffer to the nodes.
+
+        Columns whose node cannot be reached are skipped -- degraded
+        write semantics -- unless that would leave the stripe beyond
+        RAID-6 tolerance, which raises :class:`ClusterDegradedError`.
+        Returns the columns actually written.
+        """
+        self._check_stripe(stripe)
+        cols = list(range(self.code.n_cols)) if columns is None else list(columns)
+        results = await asyncio.gather(
+            *(self._store_strip(c, stripe, buf[c]) for c in cols),
+            return_exceptions=True,
+        )
+        written: list[int] = []
+        skipped: list[int] = []
+        for col, res in zip(cols, results):
+            if isinstance(res, (NodeUnavailableError, RemoteDiskError)):
+                skipped.append(col)
+            elif isinstance(res, BaseException):
+                raise res
+            else:
+                written.append(col)
+        if skipped:
+            self.metrics.counter("degraded_writes").inc()
+            if len(skipped) > 2:
+                raise ClusterDegradedError(
+                    f"stripe {stripe}: write lost columns {skipped}"
+                )
+        return written
+
+    # -- byte-addressed user I/O -------------------------------------------
+
+    def _stripe_payload(self, buf: np.ndarray) -> bytes:
+        return buf[: self.code.k].tobytes()
+
+    def _fill_data_columns(self, buf: np.ndarray, payload: bytes) -> None:
+        code = self.code
+        words = np.frombuffer(payload, dtype=np.uint8)
+        for col in range(code.k):
+            strip = words[col * code.strip_bytes : (col + 1) * code.strip_bytes]
+            buf[col] = strip.view(WORD_DTYPE).reshape(code.rows, -1)
+
+    async def write(self, offset: int, data: bytes) -> None:
+        """Write user bytes; stripe-aligned spans take the encode path,
+        everything else is a stripe-granular read-modify-write."""
+        if not data:
+            return
+        if offset < 0 or offset + len(data) > self.capacity:
+            raise ValueError("write outside the array")
+        sdb = self.stripe_data_bytes
+        pos, end = offset, offset + len(data)
+        while pos < end:
+            stripe, within = divmod(pos, sdb)
+            take = min(end - pos, sdb - within)
+            chunk = data[pos - offset : pos - offset + take]
+            if within == 0 and take == sdb:
+                buf = self.code.alloc_stripe()
+                self._fill_data_columns(buf, chunk)
+                self.metrics.counter("full_stripe_writes").inc()
+            else:
+                buf = await self.read_stripe(stripe)
+                blob = bytearray(self._stripe_payload(buf))
+                blob[within : within + take] = chunk
+                self._fill_data_columns(buf, bytes(blob))
+                self.metrics.counter("rmw_writes").inc()
+            self.code.encode(buf)
+            await self.write_stripe(stripe, buf)
+            pos += take
+
+    async def read(self, offset: int, length: int) -> bytes:
+        """Read user bytes, transparently decoding around failures."""
+        if length < 0 or offset < 0 or offset + length > self.capacity:
+            raise ValueError("read outside the array")
+        if length == 0:
+            return b""
+        sdb = self.stripe_data_bytes
+        first, last = offset // sdb, (offset + length - 1) // sdb
+        stripes = await asyncio.gather(
+            *(self.read_stripe(s) for s in range(first, last + 1))
+        )
+        blob = b"".join(self._stripe_payload(buf) for buf in stripes)
+        start = offset - first * sdb
+        return blob[start : start + length]
+
+    # -- health / metrics --------------------------------------------------
+
+    async def ping(self) -> list[bool]:
+        """Liveness of every column's node (never raises)."""
+        results = await asyncio.gather(
+            *(c.request("ping") for c in self.clients), return_exceptions=True
+        )
+        return [not isinstance(r, BaseException) for r in results]
+
+    async def node_stats(self) -> list[dict | None]:
+        """Each node's ``stats`` reply header (None if unreachable)."""
+        results = await asyncio.gather(
+            *(c.request("stats") for c in self.clients), return_exceptions=True
+        )
+        return [None if isinstance(r, BaseException) else r[0] for r in results]
+
+    async def stats(self) -> dict:
+        """Aggregate view: client-side metrics plus per-node snapshots."""
+        nodes = await self.node_stats()
+        return {
+            "client": self.metrics.snapshot(),
+            "nodes": [
+                None
+                if reply is None
+                else {"column": reply.get("column"),
+                      "stats": reply.get("stats"),
+                      "disk": reply.get("disk")}
+                for reply in nodes
+            ],
+        }

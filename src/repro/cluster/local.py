@@ -1,0 +1,89 @@
+"""Spin up a whole cluster in one process (tests, examples, demos).
+
+:class:`LocalCluster` owns ``k + 2`` :class:`~repro.cluster.node.StripNode`
+servers on loopback ephemeral ports -- one per column -- plus the
+lifecycle verbs the failure drills need: stop a node (simulating a
+machine loss), start a blank replacement for a column (the rebuild
+target), and tear everything down.  Being in-process, tests can also
+reach into ``cluster.nodes[c].faults`` / ``.disk`` directly instead of
+going through the ``fault`` verb.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.cluster.client import ClusterArray, RetryPolicy
+from repro.cluster.node import StripNode
+from repro.codes.base import RAID6Code
+
+__all__ = ["LocalCluster"]
+
+
+class LocalCluster:
+    """``k + 2`` loopback strip nodes for one code geometry."""
+
+    def __init__(self, code: RAID6Code, n_stripes: int, *, host: str = "127.0.0.1") -> None:
+        self.code = code
+        self.n_stripes = int(n_stripes)
+        self.host = host
+        strip_words = code.rows * (code.element_size // 8)
+        self.nodes: list[StripNode] = [
+            StripNode(col, n_stripes, strip_words, host=host)
+            for col in range(code.n_cols)
+        ]
+        #: replacement nodes started via :meth:`start_replacement`
+        self.replacements: dict[int, StripNode] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> list[tuple[str, int]]:
+        await asyncio.gather(*(n.start() for n in self.nodes))
+        return self.addresses
+
+    async def stop(self) -> None:
+        live = [n for n in [*self.nodes, *self.replacements.values()] if n.running]
+        await asyncio.gather(*(n.stop() for n in live))
+
+    async def __aenter__(self) -> "LocalCluster":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    @property
+    def addresses(self) -> list[tuple[str, int]]:
+        return [n.address for n in self.nodes]
+
+    # -- failure drills ----------------------------------------------------
+
+    async def stop_node(self, column: int) -> None:
+        """Take one column's node offline (machine loss)."""
+        await self.nodes[column].stop()
+
+    async def start_replacement(self, column: int) -> tuple[str, int]:
+        """Start a blank node for ``column``; returns its address.
+
+        The caller hands the address to the rebuild scheduler; once the
+        rebuild repoints the array, :attr:`nodes` is updated so later
+        drills target the live replacement.
+        """
+        node = StripNode(
+            column, self.n_stripes, self.nodes[column].disk.strip_words, host=self.host
+        )
+        await node.start()
+        self.replacements[column] = node
+        return node.address
+
+    def promote_replacement(self, column: int) -> None:
+        """Make the replacement the column's node of record."""
+        self.nodes[column] = self.replacements.pop(column)
+
+    # -- convenience -------------------------------------------------------
+
+    def array(self, *, policy: RetryPolicy | None = None) -> ClusterArray:
+        """A :class:`ClusterArray` wired to this cluster's nodes."""
+        return ClusterArray(
+            self.code, self.addresses, self.n_stripes, policy=policy
+        )

@@ -1,0 +1,226 @@
+"""The strip node: an asyncio TCP server storing one column's strips.
+
+A :class:`StripNode` is one failure domain of the distributed array --
+it owns the strips of exactly one logical column, backed by a
+:class:`~repro.array.disk.SimulatedDisk` so the whole local fault
+vocabulary (whole-disk failure, latent sector errors, silent
+corruption) carries over unchanged.  On top of that sits the *network*
+fault vocabulary of :class:`~repro.array.faults.NetworkFaultPlan`:
+service latency, dropped connections mid-frame, corrupted frames,
+transient I/O errors -- each installable in-process (tests) or over
+the wire via the ``fault`` verb.
+
+The node is deliberately dumb: it has no idea which code the cluster
+runs or where its siblings are.  All striping, decoding and rebuild
+intelligence lives in the client (:mod:`repro.cluster.client`), which
+is what lets a degraded array keep serving while any two nodes
+misbehave arbitrarily.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+
+import numpy as np
+
+from repro.array.disk import DiskError, DiskFailedError, LatentSectorError, SimulatedDisk
+from repro.array.faults import NetworkFaultPlan
+from repro.cluster.metrics import MetricsRegistry
+from repro.cluster.protocol import ProtocolError, encode_frame, read_frame
+from repro.utils.words import WORD_DTYPE
+
+__all__ = ["StripNode"]
+
+#: Verbs the fault plan applies to; control verbs always get through.
+_DATA_VERBS = frozenset({"get", "put"})
+
+
+class StripNode:
+    """Asyncio TCP server for one column of strips.
+
+    ``start()`` binds (port 0 picks an ephemeral port; the bound
+    address is then available as :attr:`address`) and serves until
+    ``stop()`` is called or a ``shutdown`` frame arrives.
+    """
+
+    def __init__(
+        self,
+        column: int,
+        n_strips: int,
+        strip_words: int,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.column = int(column)
+        self.disk = SimulatedDisk(column, n_strips, strip_words)
+        self.faults = NetworkFaultPlan()
+        self.metrics = MetricsRegistry()
+        self._host = host
+        self._port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._stopped = asyncio.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` actually bound (valid after ``start()``)."""
+        if self._server is None:
+            raise RuntimeError("node is not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    @property
+    def running(self) -> bool:
+        return self._server is not None
+
+    async def start(self) -> tuple[str, int]:
+        if self._server is not None:
+            raise RuntimeError("node already started")
+        self._stopped.clear()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+        return self.address
+
+    async def stop(self) -> None:
+        """Stop accepting and close the listening socket."""
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        self._stopped.set()
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until ``stop()`` or a ``shutdown`` frame."""
+        if self._server is None:
+            await self.start()
+        await self._stopped.wait()
+        if self._server is not None:
+            await self.stop()
+
+    # -- request handling --------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    header, payload = await read_frame(reader)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    return  # peer went away
+                except ProtocolError:
+                    self.metrics.counter("bad_frames").inc()
+                    return  # unrecoverable framing state: drop the peer
+                if not await self._dispatch(header, payload, writer):
+                    return
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _dispatch(self, header: dict, payload: bytes, writer) -> bool:
+        """Serve one request; returns False to close the connection."""
+        verb = header.get("verb", "?")
+        self.metrics.counter(f"requests_{verb}").inc()
+        self.metrics.counter("bytes_in").inc(len(payload))
+
+        if verb in _DATA_VERBS:
+            if self.faults.latency:
+                await asyncio.sleep(self.faults.latency)
+            if self.faults.consume("fail_requests"):
+                self.metrics.counter("injected_io_errors").inc()
+                await self._reply(writer, {"status": "err", "error": "io-error",
+                                           "detail": "injected transient fault"})
+                return True
+
+        try:
+            reply_header, reply_payload = self._serve(verb, header, payload)
+        except LatentSectorError as exc:
+            reply_header, reply_payload = (
+                {"status": "err", "error": "latent", "detail": str(exc)}, b"")
+        except DiskFailedError as exc:
+            reply_header, reply_payload = (
+                {"status": "err", "error": "disk-failed", "detail": str(exc)}, b"")
+        except (DiskError, ValueError, IndexError, KeyError, TypeError) as exc:
+            reply_header, reply_payload = (
+                {"status": "err", "error": "bad-request", "detail": str(exc)}, b"")
+        if reply_header.get("status") == "err":
+            self.metrics.counter("errors").inc()
+
+        frame = encode_frame(reply_header, reply_payload)
+        if verb in _DATA_VERBS and self.faults.consume("corrupt_frames"):
+            self.metrics.counter("injected_corruptions").inc()
+            frame = bytearray(frame)
+            frame[len(frame) // 2] ^= 0xFF  # lands in header/payload, CRC goes stale
+            frame = bytes(frame)
+        if verb in _DATA_VERBS and self.faults.consume("drop_mid_frame"):
+            self.metrics.counter("injected_drops").inc()
+            writer.write(frame[: len(frame) // 2])
+            with contextlib.suppress(ConnectionError):
+                await writer.drain()
+            return False
+        writer.write(frame)
+        self.metrics.counter("bytes_out").inc(len(frame))
+        with contextlib.suppress(ConnectionError):
+            await writer.drain()
+        return verb != "shutdown"
+
+    async def _reply(self, writer, header: dict, payload: bytes = b"") -> None:
+        frame = encode_frame(header, payload)
+        self.metrics.counter("bytes_out").inc(len(frame))
+        writer.write(frame)
+        with contextlib.suppress(ConnectionError):
+            await writer.drain()
+
+    # -- verb implementations ----------------------------------------------
+
+    def _serve(self, verb: str, header: dict, payload: bytes) -> tuple[dict, bytes]:
+        if verb == "ping":
+            return {"status": "ok", "column": self.column}, b""
+        if verb == "put":
+            words = np.frombuffer(payload, dtype=WORD_DTYPE)
+            self.disk.write_strip(int(header["stripe"]), words)
+            return {"status": "ok"}, b""
+        if verb == "get":
+            strip = self.disk.read_strip(int(header["stripe"]))
+            return {"status": "ok"}, strip.tobytes()
+        if verb == "stats":
+            return {
+                "status": "ok",
+                "column": self.column,
+                "stats": self.metrics.snapshot(),
+                "disk": {
+                    "reads": self.disk.stats.reads,
+                    "writes": self.disk.stats.writes,
+                    "bytes_read": self.disk.stats.bytes_read,
+                    "bytes_written": self.disk.stats.bytes_written,
+                    "failed": self.disk.failed,
+                    "n_strips": self.disk.n_strips,
+                },
+            }, b""
+        if verb == "fault":
+            return self._serve_fault(header), b""
+        if verb == "shutdown":
+            self._stopped.set()
+            return {"status": "ok", "column": self.column}, b""
+        return {"status": "err", "error": "bad-verb", "detail": f"unknown verb {verb!r}"}, b""
+
+    def _serve_fault(self, header: dict) -> dict:
+        """Install network faults and/or trigger disk faults remotely."""
+        if "plan" in header:
+            self.faults = NetworkFaultPlan.from_header(header["plan"])
+        if header.get("disk_fail"):
+            self.disk.fail()
+        for strip in header.get("latent", ()):
+            self.disk.mark_latent_error(int(strip))
+        if header.get("replace"):
+            self.disk.replace()
+            self.faults = NetworkFaultPlan()
+        return {"status": "ok", "faults": self.faults.to_header()}
+
+    def __repr__(self) -> str:
+        state = f"on {self.address}" if self.running else "stopped"
+        return f"StripNode(column={self.column}, {state}, {self.disk!r})"

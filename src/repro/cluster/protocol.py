@@ -1,0 +1,116 @@
+"""Length-prefixed, checksummed wire protocol for the stripe store.
+
+Every message -- request or reply -- is one *frame*:
+
+::
+
+    +-------+------------+-------------+--------------+-----------+--------+
+    | magic | header len | payload len | header JSON  | payload   | CRC-32 |
+    | 4 B   | u32 BE     | u32 BE      | header len B | p. len B  | u32 BE |
+    +-------+------------+-------------+--------------+-----------+--------+
+
+The header is a small JSON object (``{"verb": "get", "stripe": 3}``);
+the payload carries raw strip bytes.  The trailing CRC-32 covers header
+and payload, so a flipped bit anywhere in a frame surfaces as
+:class:`FrameChecksumError` at the receiver rather than as silently
+corrupted strip data -- the network analogue of the scrubber's
+checksum discipline.
+
+Verbs understood by :class:`~repro.cluster.node.StripNode`:
+
+===========  =========================================================
+``ping``     liveness probe
+``put``      store the payload as strip ``stripe``
+``get``      return strip ``stripe`` as the reply payload
+``stats``    return the node's metrics snapshot in the reply header
+``fault``    install a :class:`~repro.array.faults.NetworkFaultPlan`
+             and/or trigger disk faults (fail / latent / replace)
+``shutdown`` stop serving after acknowledging
+===========  =========================================================
+
+Replies carry ``{"status": "ok"}`` or ``{"status": "err", "error":
+<kind>, "detail": <str>}``.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from typing import Any
+
+import asyncio
+
+__all__ = [
+    "MAGIC",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "FrameChecksumError",
+    "encode_frame",
+    "read_frame",
+    "write_frame",
+]
+
+#: Frame preamble; reject anything else immediately (protects the node
+#: from port scanners and stale peers speaking an older framing).
+MAGIC = b"RPR1"
+
+#: Upper bound on header+payload, far above any legal strip.
+MAX_FRAME_BYTES = 1 << 26
+
+_PREAMBLE = struct.Struct("!4sII")
+_CRC = struct.Struct("!I")
+
+
+class ProtocolError(Exception):
+    """Malformed frame (bad magic, oversized lengths, bad JSON)."""
+
+
+class FrameChecksumError(ProtocolError):
+    """Frame arrived intact in length but failed its CRC-32."""
+
+
+def encode_frame(header: dict[str, Any], payload: bytes = b"") -> bytes:
+    """Serialise one frame to bytes."""
+    hdr = json.dumps(header, separators=(",", ":")).encode()
+    if len(hdr) > MAX_FRAME_BYTES or len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError("frame exceeds MAX_FRAME_BYTES")
+    crc = zlib.crc32(payload, zlib.crc32(hdr))
+    return b"".join(
+        (_PREAMBLE.pack(MAGIC, len(hdr), len(payload)), hdr, payload, _CRC.pack(crc))
+    )
+
+
+async def read_frame(reader: asyncio.StreamReader) -> tuple[dict[str, Any], bytes]:
+    """Read and validate one frame; returns ``(header, payload)``.
+
+    Raises :class:`FrameChecksumError` on CRC mismatch,
+    :class:`ProtocolError` on structural garbage, and lets
+    ``IncompleteReadError`` (connection dropped mid-frame) propagate so
+    callers can treat it as a transport failure.
+    """
+    magic, hlen, plen = _PREAMBLE.unpack(await reader.readexactly(_PREAMBLE.size))
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic {magic!r}")
+    if hlen > MAX_FRAME_BYTES or plen > MAX_FRAME_BYTES:
+        raise ProtocolError(f"oversized frame (header={hlen}, payload={plen})")
+    hdr_bytes = await reader.readexactly(hlen)
+    payload = await reader.readexactly(plen)
+    (crc,) = _CRC.unpack(await reader.readexactly(_CRC.size))
+    if crc != zlib.crc32(payload, zlib.crc32(hdr_bytes)):
+        raise FrameChecksumError("frame CRC-32 mismatch")
+    try:
+        header = json.loads(hdr_bytes)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"unparseable frame header: {exc}") from None
+    if not isinstance(header, dict):
+        raise ProtocolError("frame header is not a JSON object")
+    return header, payload
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, header: dict[str, Any], payload: bytes = b""
+) -> None:
+    """Encode and flush one frame."""
+    writer.write(encode_frame(header, payload))
+    await writer.drain()

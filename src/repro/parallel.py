@@ -26,7 +26,20 @@ import numpy as np
 from repro.codes.base import RAID6Code, XorScheduleCode
 from repro.utils.words import WORD_DTYPE, element_words
 
-__all__ = ["alloc_batch", "BatchCoder"]
+__all__ = ["alloc_batch", "iter_batches", "BatchCoder"]
+
+
+def iter_batches(n: int, batch_size: int):
+    """Yield ``(start, stop)`` bounds covering ``range(n)`` in chunks.
+
+    The outer loop of every bulk coding consumer (the cluster's rebuild
+    scheduler streams stripes through :class:`BatchCoder` in exactly
+    these windows, bounding peak memory to one batch).
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    for start in range(0, n, batch_size):
+        yield start, min(start + batch_size, n)
 
 
 def alloc_batch(code: RAID6Code, n_stripes: int) -> np.ndarray:

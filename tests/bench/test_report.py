@@ -1,6 +1,8 @@
 """Tests for series rendering and persistence."""
 
-from repro.bench.report import format_table, results_dir, save_series
+import json
+
+from repro.bench.report import format_table, results_dir, save_json_report, save_series
 
 
 class TestFormatTable:
@@ -35,3 +37,24 @@ class TestSaveSeries:
     def test_results_dir_created(self, tmp_path):
         d = results_dir(tmp_path / "nested" / "results")
         assert d.is_dir()
+
+
+class TestSaveJsonReport:
+    SERIES = [
+        {"name": "fig05", "title": "Fig. 5", "rows": [{"k": 2, "xors": 1.0}]},
+        {"name": "table1", "title": None, "rows": []},
+    ]
+
+    def test_round_trips_every_series(self, tmp_path):
+        path = save_json_report("BENCH_test.json", self.SERIES, base=tmp_path)
+        doc = json.loads(path.read_text())
+        assert [s["name"] for s in doc["series"]] == ["fig05", "table1"]
+        assert doc["series"][0]["rows"] == [{"k": 2, "xors": 1.0}]
+        assert doc["generated_unix"] > 0
+
+    def test_metadata_stamped_at_top_level(self, tmp_path):
+        path = save_json_report(
+            "BENCH_test.json", self.SERIES, base=tmp_path, quick=True, python="3.11"
+        )
+        doc = json.loads(path.read_text())
+        assert doc["quick"] is True and doc["python"] == "3.11"

@@ -1,0 +1,34 @@
+"""Shared helpers for the cluster test suite.
+
+Tests drive asyncio directly (``asyncio.run`` per test) so the suite
+has no plugin dependency; the retry policy below keeps the failure
+drills fast (a fully-lost node costs one refused connection plus a
+10 ms backoff per attempt).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import LocalCluster, RetryPolicy
+from repro.codes import make_code
+
+#: Snappy timeouts for loopback: total worst case per lost strip is
+#: attempts * timeout, so keep both small.
+FAST_POLICY = RetryPolicy(attempts=2, timeout=0.5, backoff=0.01, max_backoff=0.02)
+
+
+def liberation_cluster(k=3, p=5, element_size=64, n_stripes=6):
+    """A small Liberation-optimal cluster (not started yet)."""
+    code = make_code("liberation-optimal", k, p=p, element_size=element_size)
+    return code, LocalCluster(code, n_stripes)
+
+
+def payload_for(array, *, seed=0) -> bytes:
+    """Deterministic user data filling the whole array."""
+    rng = np.random.default_rng(seed)
+    return rng.bytes(array.capacity)
+
+
+@pytest.fixture
+def fast_policy():
+    return RetryPolicy(attempts=2, timeout=0.5, backoff=0.01, max_backoff=0.02)

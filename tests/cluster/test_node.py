@@ -1,0 +1,141 @@
+"""Tests of a single strip node over real loopback sockets."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.array.faults import NetworkFaultPlan
+from repro.cluster import NodeClient, RemoteDiskError, RetryPolicy, StripNode, send_verb
+from repro.utils.words import WORD_DTYPE
+
+STRIP_WORDS = 10
+
+
+def run_with_node(coro_fn, *, n_strips=8):
+    """Start a node, run ``coro_fn(node, client)``, tear down."""
+
+    async def run():
+        node = StripNode(0, n_strips, STRIP_WORDS)
+        await node.start()
+        client = NodeClient(
+            node.address,
+            policy=RetryPolicy(attempts=2, timeout=0.5, backoff=0.01),
+        )
+        try:
+            return await coro_fn(node, client)
+        finally:
+            await node.stop()
+
+    return asyncio.run(run())
+
+
+def strip(seed=0) -> np.ndarray:
+    return np.random.default_rng(seed).integers(
+        0, 2**64, STRIP_WORDS, dtype=WORD_DTYPE
+    )
+
+
+class TestBasicVerbs:
+    def test_ping(self):
+        async def go(node, client):
+            reply, _ = await client.request("ping")
+            return reply
+
+        assert run_with_node(go)["column"] == 0
+
+    def test_put_get_round_trip(self):
+        data = strip(1)
+
+        async def go(node, client):
+            await client.request("put", {"stripe": 3}, data.tobytes())
+            _, payload = await client.request("get", {"stripe": 3})
+            return payload
+
+        assert run_with_node(go) == data.tobytes()
+
+    def test_unwritten_strip_reads_zero(self):
+        async def go(node, client):
+            _, payload = await client.request("get", {"stripe": 0})
+            return payload
+
+        assert run_with_node(go) == b"\0" * (STRIP_WORDS * 8)
+
+    def test_unknown_verb_is_error_not_disconnect(self):
+        async def go(node, client):
+            with pytest.raises(Exception):
+                await client.request("frobnicate")
+            reply, _ = await client.request("ping")  # connection model intact
+            return reply
+
+        assert run_with_node(go)["status"] == "ok"
+
+    def test_stats_reflects_traffic(self):
+        async def go(node, client):
+            await client.request("put", {"stripe": 0}, strip().tobytes())
+            await client.request("get", {"stripe": 0})
+            reply, _ = await client.request("stats")
+            return reply
+
+        reply = run_with_node(go)
+        assert reply["stats"]["counters"]["requests_put"] == 1
+        assert reply["stats"]["counters"]["requests_get"] == 1
+        assert reply["disk"]["reads"] == 1 and reply["disk"]["writes"] == 1
+
+
+class TestDiskFaultsOverTheWire:
+    def test_latent_error_reported_not_retried(self):
+        async def go(node, client):
+            node.disk.mark_latent_error(2)
+            with pytest.raises(RemoteDiskError):
+                await client.request("get", {"stripe": 2})
+            return client.metrics.get("retries")
+
+        assert run_with_node(go) == 0  # deterministic answer: no retry spent
+
+    def test_failed_disk_reported(self):
+        async def go(node, client):
+            node.disk.fail()
+            with pytest.raises(RemoteDiskError):
+                await client.request("get", {"stripe": 0})
+
+        run_with_node(go)
+
+    def test_fault_verb_drives_disk_and_plan(self):
+        async def go(node, client):
+            await client.request(
+                "fault",
+                {"plan": NetworkFaultPlan(latency=0.25).to_header(), "latent": [1]},
+            )
+            assert node.faults.latency == 0.25
+            assert 1 in node.disk._latent
+            await client.request("fault", {"replace": True})
+            return node.faults.latency, node.disk._latent
+
+        latency, latent = run_with_node(go)
+        assert latency == 0.0 and latent == set()
+
+    def test_bad_stripe_index_is_bad_request(self):
+        async def go(node, client):
+            try:
+                await client.request("get", {"stripe": 999})
+            except Exception as exc:
+                return type(exc).__name__
+
+        # index error -> bad-request -> retried as transient -> unavailable
+        assert run_with_node(go) == "NodeUnavailableError"
+
+
+class TestShutdown:
+    def test_shutdown_verb_stops_serving(self):
+        async def run():
+            node = StripNode(0, 4, STRIP_WORDS)
+            await node.start()
+            addr = node.address
+            server_task = asyncio.ensure_future(node.serve_until_shutdown())
+            reply, _ = await send_verb(addr, "shutdown")
+            await asyncio.wait_for(server_task, timeout=2)
+            return reply, node.running
+
+        reply, running = asyncio.run(run())
+        assert reply["status"] == "ok" and not running

@@ -1,0 +1,86 @@
+"""Frame-level tests of the wire protocol."""
+
+import asyncio
+
+import pytest
+
+from repro.cluster.protocol import (
+    MAGIC,
+    FrameChecksumError,
+    ProtocolError,
+    encode_frame,
+    read_frame,
+)
+
+
+def parse(frame: bytes):
+    """Feed raw bytes through read_frame via an in-memory stream."""
+
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(frame)
+        reader.feed_eof()
+        return await read_frame(reader)
+
+    return asyncio.run(run())
+
+
+class TestRoundTrip:
+    def test_header_and_payload_survive(self):
+        header, payload = parse(encode_frame({"verb": "put", "stripe": 7}, b"\x01" * 40))
+        assert header == {"verb": "put", "stripe": 7}
+        assert payload == b"\x01" * 40
+
+    def test_empty_payload(self):
+        header, payload = parse(encode_frame({"verb": "ping"}))
+        assert header["verb"] == "ping" and payload == b""
+
+    def test_frames_are_self_delimiting(self):
+        """Two frames on one stream parse independently."""
+
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame({"n": 1}) + encode_frame({"n": 2}, b"xy"))
+            reader.feed_eof()
+            return await read_frame(reader), await read_frame(reader)
+
+        (h1, p1), (h2, p2) = asyncio.run(run())
+        assert (h1["n"], p1, h2["n"], p2) == (1, b"", 2, b"xy")
+
+
+class TestRejection:
+    def test_bad_magic(self):
+        frame = b"XXXX" + encode_frame({"verb": "ping"})[4:]
+        with pytest.raises(ProtocolError):
+            parse(frame)
+
+    @pytest.mark.parametrize("victim_offset", [13, -6, -1])
+    def test_any_flipped_byte_fails_crc(self, victim_offset):
+        """Corruption in header, payload or CRC trailer is all caught."""
+        frame = bytearray(encode_frame({"verb": "get", "stripe": 1}, b"data" * 10))
+        frame[victim_offset] ^= 0x40
+        with pytest.raises(FrameChecksumError):
+            parse(bytes(frame))
+
+    def test_truncated_frame_is_transport_error(self):
+        frame = encode_frame({"verb": "get"}, b"strip-bytes")
+        with pytest.raises(asyncio.IncompleteReadError):
+            parse(frame[: len(frame) // 2])
+
+    def test_oversized_lengths_rejected(self):
+        import struct
+
+        frame = struct.pack("!4sII", MAGIC, 1 << 30, 0)
+        with pytest.raises(ProtocolError):
+            parse(frame)
+
+    def test_non_object_header_rejected(self):
+        import json
+        import struct
+        import zlib
+
+        hdr = json.dumps([1, 2]).encode()
+        crc = zlib.crc32(b"", zlib.crc32(hdr))
+        frame = struct.pack("!4sII", MAGIC, len(hdr), 0) + hdr + struct.pack("!I", crc)
+        with pytest.raises(ProtocolError):
+            parse(frame)

@@ -122,6 +122,67 @@ class TestInfo:
         assert "liberation-optimal" in out and "lower-bound" in out
 
 
+class TestServeAndStats:
+    def serve_in_thread(self, tmp_path, *extra):
+        """Start `serve` on an ephemeral port; returns (thread, port)."""
+        import threading
+        import time
+
+        port_file = tmp_path / "port"
+        argv = ["serve", "--column", "1", "--stripes", "4", "--k", "3", "--p", "5",
+                "--element-size", "64", "--port", "0", "--port-file", str(port_file),
+                *extra]
+        thread = threading.Thread(target=main, args=(argv,), daemon=True)
+        thread.start()
+        deadline = time.time() + 10
+        while not port_file.exists():
+            assert time.time() < deadline, "serve never bound its port"
+            assert thread.is_alive(), "serve exited before binding"
+            time.sleep(0.01)
+        return thread, int(port_file.read_text())
+
+    def test_serve_then_stats_then_shutdown(self, tmp_path, capsys):
+        thread, port = self.serve_in_thread(tmp_path)
+        assert main(["stats", f"127.0.0.1:{port}"]) == 0
+        out = capsys.readouterr().out
+        assert f"node 127.0.0.1:{port}" in out
+        assert "requests_stats" in out and "disk_n_strips" in out
+        # Second call with --shutdown terminates the server cleanly.
+        assert main(["stats", f"127.0.0.1:{port}", "--shutdown"]) == 0
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert "shutdown acknowledged" in capsys.readouterr().out
+
+    def test_stats_counts_real_traffic(self, tmp_path, capsys):
+        import asyncio
+
+        import numpy as np
+
+        from repro.cluster import NodeClient, RetryPolicy
+
+        thread, port = self.serve_in_thread(tmp_path)
+        strip = np.zeros(40, dtype=np.uint64).tobytes()  # 5 rows x 8 words
+
+        async def traffic():
+            client = NodeClient(("127.0.0.1", port),
+                                policy=RetryPolicy(attempts=2, timeout=1.0))
+            await client.request("put", {"stripe": 2}, strip)
+            _, payload = await client.request("get", {"stripe": 2})
+            return payload
+
+        assert asyncio.run(traffic()) == strip
+        assert main(["stats", f"127.0.0.1:{port}", "--shutdown"]) == 0
+        thread.join(timeout=5)
+        out = capsys.readouterr().out
+        assert "requests_put" in out and "requests_get" in out
+
+    def test_stats_unreachable_node_fails(self, capsys):
+        # A port from the ephemeral range with (almost surely) no listener;
+        # connection refused is immediate on loopback.
+        assert main(["stats", "127.0.0.1:1", "--timeout", "1"]) == 1
+        assert "unreachable" in capsys.readouterr().out
+
+
 class TestRoundTripProperty:
     def test_random_sizes_and_losses(self, tmp_path):
         """Fuzz: arbitrary file sizes (incl. empty-ish and unaligned),

@@ -4,7 +4,23 @@ import numpy as np
 import pytest
 
 from repro.codes import make_code
-from repro.parallel import BatchCoder, alloc_batch
+from repro.parallel import BatchCoder, alloc_batch, iter_batches
+
+
+class TestIterBatches:
+    def test_covers_range_without_overlap(self):
+        bounds = list(iter_batches(10, 3))
+        assert bounds == [(0, 3), (3, 6), (6, 9), (9, 10)]
+
+    def test_single_window(self):
+        assert list(iter_batches(4, 100)) == [(0, 4)]
+
+    def test_empty(self):
+        assert list(iter_batches(0, 8)) == []
+
+    def test_rejects_nonpositive_batch(self):
+        with pytest.raises(ValueError):
+            list(iter_batches(5, 0))
 
 
 @pytest.fixture
