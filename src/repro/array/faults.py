@@ -77,6 +77,22 @@ class NetworkFaultPlan:
             corrupt_frames=int(header.get("corrupt_frames", 0)),
         )
 
+    @classmethod
+    def random(cls, rng, *, persistent: bool = True) -> "NetworkFaultPlan":
+        """A seeded random plan (the sim fuzzer's fault vocabulary).
+
+        ``persistent`` plans poison every data request (:data:`ALWAYS`
+        budgets / latency far beyond any sane timeout), making the
+        column a deterministic loss; transient plans use finite budgets
+        a retry policy is expected to absorb.  ``rng`` is a
+        ``random.Random`` so the same seed always yields the same plan.
+        """
+        kind = rng.choice(["latency", "fail_requests", "drop_mid_frame", "corrupt_frames"])
+        if kind == "latency":
+            # Far above timeouts when persistent; sub-timeout blip otherwise.
+            return cls(latency=10.0 + rng.random() if persistent else 0.001)
+        return cls(**{kind: ALWAYS if persistent else 1})
+
 
 @dataclass
 class InjectionLog:

@@ -24,6 +24,15 @@ here too:
 
     python -m repro.cli serve --column 0 --stripes 64 --k 4   # one per column
     python -m repro.cli stats 127.0.0.1:9100 127.0.0.1:9101   # metrics view
+
+And the deterministic simulation / differential-fuzzing harness
+(:mod:`repro.sim`):
+
+::
+
+    python -m repro.cli sim fuzz --seed 7 --duration 600      # hunt divergences
+    python -m repro.cli sim replay repro-1234.json            # re-run a repro
+    python -m repro.cli sim run --seed 42                     # one scenario
 """
 
 from __future__ import annotations
@@ -279,6 +288,61 @@ def cmd_stats(args) -> int:
     return asyncio.run(run())
 
 
+def cmd_sim_fuzz(args) -> int:
+    from repro.sim.differential import fuzz
+
+    def progress(done, _record):
+        if args.progress_every and done % args.progress_every == 0:
+            print(f"  {done} cases in agreement...", flush=True)
+
+    failure = fuzz(
+        seed=args.seed,
+        max_cases=args.cases,
+        time_budget=args.duration,
+        shrink=not args.no_shrink,
+        on_progress=progress,
+    )
+    if failure is None:
+        print(f"fuzz clean (seed base {args.seed})")
+        return 0
+    out = pathlib.Path(args.out or f"sim-repro-{failure.seed}.json")
+    failure.save(out)
+    print(f"DIVERGENCE after {failure.cases_run} cases (seed {failure.seed}):")
+    print(f"  {failure.error}")
+    print(f"  shrunk repro written to {out}")
+    print(f"  replay with: python -m repro.cli sim replay {out}")
+    return 1
+
+
+def cmd_sim_replay(args) -> int:
+    from repro.sim.differential import replay_file
+
+    error = replay_file(args.file)
+    if error is None:
+        print(f"{args.file}: no divergence -- the recorded failure no longer "
+              "reproduces")
+        return 0
+    print(f"{args.file}: still diverges:")
+    print(f"  {error}")
+    return 1
+
+
+def cmd_sim_run(args) -> int:
+    from repro.sim.scenario import generate_scenario, run_scenario
+
+    scenario = generate_scenario(args.seed)
+    result = run_scenario(scenario)
+    print(f"scenario seed={args.seed}: {scenario.code} k={scenario.k} "
+          f"p={scenario.p} element={scenario.element_size}B "
+          f"stripes={scenario.n_stripes}, {len(scenario.ops)} ops")
+    if args.trace:
+        for record in result.trace:
+            print(f"  {record}")
+    print(f"virtual time: {result.virtual_end:.6f}s")
+    print(f"trace digest: {result.digest}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli", description="RAID-6 Liberation-code file erasure tool"
@@ -328,6 +392,32 @@ def build_parser() -> argparse.ArgumentParser:
     st.add_argument("--shutdown", action="store_true",
                     help="ask each node to shut down after reporting")
     st.set_defaults(func=cmd_stats)
+
+    sim = sub.add_parser("sim", help="deterministic simulation / fuzzing")
+    sim_sub = sim.add_subparsers(dest="sim_command", required=True)
+
+    fz = sim_sub.add_parser("fuzz", help="differential-fuzz the whole stack")
+    fz.add_argument("--seed", type=int, default=0, help="base case seed")
+    fz.add_argument("--cases", type=int, default=None,
+                    help="stop after N cases (default 100 unless --duration)")
+    fz.add_argument("--duration", type=float, default=None,
+                    help="stop after this many wall seconds")
+    fz.add_argument("--out", default=None,
+                    help="repro file path (default sim-repro-<seed>.json)")
+    fz.add_argument("--no-shrink", action="store_true",
+                    help="write the raw failing case without minimising")
+    fz.add_argument("--progress-every", type=int, default=0,
+                    help="print a heartbeat every N cases")
+    fz.set_defaults(func=cmd_sim_fuzz)
+
+    rp = sim_sub.add_parser("replay", help="re-run a recorded repro file")
+    rp.add_argument("file")
+    rp.set_defaults(func=cmd_sim_replay)
+
+    rn = sim_sub.add_parser("run", help="run one seeded scenario, print digest")
+    rn.add_argument("--seed", type=int, default=0)
+    rn.add_argument("--trace", action="store_true", help="print per-op trace")
+    rn.set_defaults(func=cmd_sim_run)
     return parser
 
 

@@ -2,8 +2,13 @@
 
 :class:`NodeClient` is the transport layer -- one request per
 connection, a per-request timeout, bounded retries with exponential
-backoff, and a metrics trail of every timeout, checksum failure and
-reconnect.  :class:`ClusterArray` is the data path: it stripes
+backoff (plus optional seeded jitter), and a metrics trail of every
+timeout, checksum failure and reconnect.  All timing -- timeouts,
+backoff sleeps, latency observations -- flows through an injectable
+:class:`~repro.sim.clock.Clock` and all byte I/O through an injectable
+:class:`~repro.sim.transport.Transport`, so the same code path runs on
+real sockets in production and on virtual time + in-memory pipes under
+:mod:`repro.sim`, where scenarios replay bit-identically from a seed.  :class:`ClusterArray` is the data path: it stripes
 full-stripe writes across ``k + 2`` :class:`~repro.cluster.node.StripNode`
 servers (column ``c`` lives on node ``c``; the cluster relies on node
 placement, not rotation, for failure independence), serves **degraded
@@ -19,6 +24,7 @@ points in ``asyncio.run``.
 from __future__ import annotations
 
 import asyncio
+import random
 from dataclasses import dataclass
 
 import numpy as np
@@ -26,6 +32,8 @@ import numpy as np
 from repro.cluster.metrics import MetricsRegistry
 from repro.cluster.protocol import FrameChecksumError, ProtocolError, read_frame, write_frame
 from repro.codes.base import RAID6Code
+from repro.sim.clock import Clock, RealClock
+from repro.sim.transport import AsyncioTransport, Transport
 from repro.utils.words import WORD_DTYPE
 
 __all__ = [
@@ -66,6 +74,12 @@ class RetryPolicy:
     at ``backoff`` seconds.  Deterministic node answers -- a latent
     sector error, a failed disk -- are *not* retried: replaying them
     cannot succeed, the erasure code is the retry.
+
+    ``jitter`` spreads each backoff delay uniformly over
+    ``[d, d * (1 + jitter)]`` to decorrelate retry storms.  The random
+    source is the *caller's* seeded ``random.Random`` (threaded through
+    :meth:`delays`), never a module-level global, so retry timing is
+    reproducible under simulation.
     """
 
     attempts: int = 3
@@ -73,19 +87,29 @@ class RetryPolicy:
     backoff: float = 0.02
     multiplier: float = 2.0
     max_backoff: float = 0.5
+    jitter: float = 0.0
 
-    def delays(self):
+    def delays(self, rng: random.Random | None = None):
         d = self.backoff
         for _ in range(max(0, self.attempts - 1)):
-            yield d
+            delay = d
+            if self.jitter and rng is not None:
+                delay *= 1.0 + self.jitter * rng.random()
+            yield min(delay, self.max_backoff)
             d = min(d * self.multiplier, self.max_backoff)
 
 
 async def send_verb(
-    address: tuple[str, int], verb: str, header: dict | None = None, payload: bytes = b""
+    address: tuple[str, int],
+    verb: str,
+    header: dict | None = None,
+    payload: bytes = b"",
+    *,
+    transport: Transport | None = None,
 ) -> tuple[dict, bytes]:
     """One-shot request with no retry (control-plane helper)."""
-    reader, writer = await asyncio.open_connection(*address)
+    transport = transport if transport is not None else AsyncioTransport()
+    reader, writer = await transport.connect(address)
     try:
         await write_frame(writer, {"verb": verb, **(header or {})}, payload)
         return await read_frame(reader)
@@ -106,13 +130,19 @@ class NodeClient:
         *,
         policy: RetryPolicy | None = None,
         metrics: MetricsRegistry | None = None,
+        transport: Transport | None = None,
+        clock: Clock | None = None,
+        rng: random.Random | None = None,
     ) -> None:
         self.address = (str(address[0]), int(address[1]))
         self.policy = policy or RetryPolicy()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.transport = transport if transport is not None else AsyncioTransport()
+        self.clock = clock if clock is not None else RealClock()
+        self.rng = rng
 
     async def _attempt(self, header: dict, payload: bytes) -> tuple[dict, bytes]:
-        reader, writer = await asyncio.open_connection(*self.address)
+        reader, writer = await self.transport.connect(self.address)
         try:
             await write_frame(writer, header, payload)
             return await read_frame(reader)
@@ -134,13 +164,13 @@ class NodeClient:
         """
         full_header = {"verb": verb, **(header or {})}
         policy = self.policy
-        delays = policy.delays()
-        loop = asyncio.get_running_loop()
+        delays = policy.delays(self.rng)
+        clock = self.clock
         self.metrics.counter("requests").inc()
         for attempt in range(policy.attempts):
-            t0 = loop.time()
+            t0 = clock.time()
             try:
-                reply, data = await asyncio.wait_for(
+                reply, data = await clock.wait_for(
                     self._attempt(full_header, payload), policy.timeout
                 )
             except (asyncio.TimeoutError, TimeoutError):
@@ -152,7 +182,7 @@ class NodeClient:
             except (ConnectionError, EOFError, OSError):
                 self.metrics.counter("connection_errors").inc()
             else:
-                self.metrics.histogram("request_latency_s").observe(loop.time() - t0)
+                self.metrics.histogram("request_latency_s").observe(clock.time() - t0)
                 if reply.get("status") == "ok":
                     return reply, data
                 error = reply.get("error", "unknown")
@@ -165,7 +195,7 @@ class NodeClient:
                 self.metrics.counter("remote_errors").inc()
             if attempt < policy.attempts - 1:
                 self.metrics.counter("retries").inc()
-                await asyncio.sleep(next(delays))
+                await clock.sleep(next(delays))
         raise NodeUnavailableError(
             f"node {self.address} unreachable after {policy.attempts} attempts"
         )
@@ -189,6 +219,9 @@ class ClusterArray:
         n_stripes: int,
         *,
         policy: RetryPolicy | None = None,
+        transport: Transport | None = None,
+        clock: Clock | None = None,
+        rng: random.Random | None = None,
     ) -> None:
         if len(addresses) != code.n_cols:
             raise ValueError(
@@ -200,10 +233,20 @@ class ClusterArray:
         self.n_stripes = int(n_stripes)
         self.policy = policy or RetryPolicy()
         self.metrics = MetricsRegistry()
-        self.clients = [
-            NodeClient(addr, policy=self.policy, metrics=self.metrics)
-            for addr in addresses
-        ]
+        self.transport = transport if transport is not None else AsyncioTransport()
+        self.clock = clock if clock is not None else RealClock()
+        self.rng = rng
+        self.clients = [self._make_client(addr) for addr in addresses]
+
+    def _make_client(self, address: tuple[str, int]) -> NodeClient:
+        return NodeClient(
+            address,
+            policy=self.policy,
+            metrics=self.metrics,
+            transport=self.transport,
+            clock=self.clock,
+            rng=self.rng,
+        )
 
     # -- geometry ----------------------------------------------------------
 
@@ -222,9 +265,7 @@ class ClusterArray:
 
     def replace_node(self, column: int, address: tuple[str, int]) -> None:
         """Point a column at a replacement node (post-rebuild)."""
-        self.clients[column] = NodeClient(
-            address, policy=self.policy, metrics=self.metrics
-        )
+        self.clients[column] = self._make_client(address)
 
     # -- strip RPCs --------------------------------------------------------
 

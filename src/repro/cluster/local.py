@@ -12,24 +12,44 @@ going through the ``fault`` verb.
 from __future__ import annotations
 
 import asyncio
+import random
 
 from repro.cluster.client import ClusterArray, RetryPolicy
 from repro.cluster.node import StripNode
 from repro.codes.base import RAID6Code
+from repro.sim.clock import Clock
+from repro.sim.transport import Transport
 
 __all__ = ["LocalCluster"]
 
 
 class LocalCluster:
-    """``k + 2`` loopback strip nodes for one code geometry."""
+    """``k + 2`` loopback strip nodes for one code geometry.
 
-    def __init__(self, code: RAID6Code, n_stripes: int, *, host: str = "127.0.0.1") -> None:
+    ``transport``/``clock`` default to real sockets and the event-loop
+    clock; pass a :class:`~repro.sim.transport.MemoryTransport` and
+    :class:`~repro.sim.clock.VirtualClock` to run the whole cluster as
+    a deterministic in-process simulation.
+    """
+
+    def __init__(
+        self,
+        code: RAID6Code,
+        n_stripes: int,
+        *,
+        host: str = "127.0.0.1",
+        transport: Transport | None = None,
+        clock: Clock | None = None,
+    ) -> None:
         self.code = code
         self.n_stripes = int(n_stripes)
         self.host = host
+        self.transport = transport
+        self.clock = clock
         strip_words = code.rows * (code.element_size // 8)
         self.nodes: list[StripNode] = [
-            StripNode(col, n_stripes, strip_words, host=host)
+            StripNode(col, n_stripes, strip_words, host=host,
+                      transport=transport, clock=clock)
             for col in range(code.n_cols)
         ]
         #: replacement nodes started via :meth:`start_replacement`
@@ -70,7 +90,8 @@ class LocalCluster:
         drills target the live replacement.
         """
         node = StripNode(
-            column, self.n_stripes, self.nodes[column].disk.strip_words, host=self.host
+            column, self.n_stripes, self.nodes[column].disk.strip_words,
+            host=self.host, transport=self.transport, clock=self.clock,
         )
         await node.start()
         self.replacements[column] = node
@@ -82,8 +103,14 @@ class LocalCluster:
 
     # -- convenience -------------------------------------------------------
 
-    def array(self, *, policy: RetryPolicy | None = None) -> ClusterArray:
+    def array(
+        self,
+        *,
+        policy: RetryPolicy | None = None,
+        rng: random.Random | None = None,
+    ) -> ClusterArray:
         """A :class:`ClusterArray` wired to this cluster's nodes."""
         return ClusterArray(
-            self.code, self.addresses, self.n_stripes, policy=policy
+            self.code, self.addresses, self.n_stripes, policy=policy,
+            transport=self.transport, clock=self.clock, rng=rng,
         )

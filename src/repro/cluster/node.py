@@ -28,6 +28,8 @@ from repro.array.disk import DiskError, DiskFailedError, LatentSectorError, Simu
 from repro.array.faults import NetworkFaultPlan
 from repro.cluster.metrics import MetricsRegistry
 from repro.cluster.protocol import ProtocolError, encode_frame, read_frame
+from repro.sim.clock import Clock, RealClock
+from repro.sim.transport import AsyncioTransport, Transport
 from repro.utils.words import WORD_DTYPE
 
 __all__ = ["StripNode"]
@@ -52,14 +54,18 @@ class StripNode:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        transport: Transport | None = None,
+        clock: Clock | None = None,
     ) -> None:
         self.column = int(column)
         self.disk = SimulatedDisk(column, n_strips, strip_words)
         self.faults = NetworkFaultPlan()
         self.metrics = MetricsRegistry()
+        self.transport = transport if transport is not None else AsyncioTransport()
+        self.clock = clock if clock is not None else RealClock()
         self._host = host
         self._port = port
-        self._server: asyncio.AbstractServer | None = None
+        self._server = None
         self._stopped = asyncio.Event()
 
     # -- lifecycle ---------------------------------------------------------
@@ -69,7 +75,7 @@ class StripNode:
         """``(host, port)`` actually bound (valid after ``start()``)."""
         if self._server is None:
             raise RuntimeError("node is not started")
-        return self._server.sockets[0].getsockname()[:2]
+        return self._server.address
 
     @property
     def running(self) -> bool:
@@ -79,7 +85,7 @@ class StripNode:
         if self._server is not None:
             raise RuntimeError("node already started")
         self._stopped.clear()
-        self._server = await asyncio.start_server(
+        self._server = await self.transport.serve(
             self._handle_connection, self._host, self._port
         )
         return self.address
@@ -129,7 +135,7 @@ class StripNode:
 
         if verb in _DATA_VERBS:
             if self.faults.latency:
-                await asyncio.sleep(self.faults.latency)
+                await self.clock.sleep(self.faults.latency)
             if self.faults.consume("fail_requests"):
                 self.metrics.counter("injected_io_errors").inc()
                 await self._reply(writer, {"status": "err", "error": "io-error",

@@ -21,7 +21,6 @@ import asyncio
 from repro.cluster.client import (
     ClusterArray,
     ClusterDegradedError,
-    NodeClient,
     NodeUnavailableError,
     RemoteDiskError,
 )
@@ -89,7 +88,9 @@ class RebuildScheduler:
         metrics = array.metrics
         metrics.counter("rebuild_stripes_total").inc(array.n_stripes)
         survivors = [c for c in range(code.n_cols) if c != column]
-        replacement = NodeClient(address, policy=array.policy, metrics=metrics)
+        # Share the array's transport/clock seam so rebuilds run (and
+        # replay deterministically) under simulation too.
+        replacement = array._make_client(address)
         done = 0
         for start, stop in iter_batches(array.n_stripes, self.batch_stripes):
             batch = alloc_batch(code, stop - start)

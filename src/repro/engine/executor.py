@@ -174,8 +174,13 @@ class CompiledSchedule:
         return buf
 
 
-def compile_schedule(schedule: Schedule) -> CompiledSchedule:
+def compile_schedule(schedule: Schedule, *, batched: bool = False) -> CompiledSchedule:
     """Fuse a schedule into gather/reduce groups (see module docstring).
+
+    ``batched`` selects the levelized one-call-per-level execution of
+    :class:`CompiledSchedule` instead of the per-group default; both
+    strategies are semantically identical (the differential fuzzer in
+    :mod:`repro.sim` holds them to that).
 
     Hazard rules enforced during the single program-order pass:
 
@@ -234,7 +239,7 @@ def compile_schedule(schedule: Schedule) -> CompiledSchedule:
 
     for dst in tuple(open_groups):
         flush(dst)
-    return CompiledSchedule(schedule.cols, schedule.rows, order)
+    return CompiledSchedule(schedule.cols, schedule.rows, order, batched=batched)
 
 
 class StreamingSchedule:

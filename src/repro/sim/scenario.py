@@ -1,0 +1,350 @@
+"""Seeded cluster scenarios: generate, run, digest, replay.
+
+A :class:`SimScenario` is a complete fault campaign derived from one
+integer seed: a geometry (code, ``k``, ``p``, element size, stripe
+count) plus an explicit op list -- writes, reads, node kills, network
+fault plans, disk failures, latent sectors, rebuilds.  Because the ops
+are explicit data (not re-drawn at run time), a scenario replays
+bit-identically and the shrinker can delete ops one by one.
+
+:func:`run_scenario` executes the campaign on a
+:class:`~repro.cluster.local.LocalCluster` wired to a
+:class:`~repro.sim.clock.VirtualClock` and
+:class:`~repro.sim.transport.MemoryTransport` -- zero real sockets,
+zero real sleeps -- while mirroring every operation into two oracles:
+
+* a **shadow byte array**, the ground truth for user data (RAID-6 must
+  return exactly what was written while at most two columns are lost);
+* a single-process :class:`~repro.array.raid6.RAID6Array` running the
+  same code, whose healthy read path cross-checks the cluster's
+  (possibly degraded, decode-driven) answers byte for byte.
+
+Every read is compared against both on the spot; the first divergent
+byte raises :class:`DivergenceError`.  The run's trace (op records,
+read digests, final metrics counters, final virtual time) is hashed
+into a single digest, so "same seed, same bytes" is checkable across
+runs, machines and refactors.
+
+The generator keeps at most two columns impaired at any time -- the
+RAID-6 contract -- counting a column impaired from the moment any
+fault lands on it until a rebuild replaces it (conservative: a write
+may heal a latent sector early, but conservatism only constrains the
+generator, never correctness).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.array.faults import ALWAYS, NetworkFaultPlan
+from repro.array.raid6 import RAID6Array
+from repro.cluster.client import RetryPolicy
+from repro.cluster.local import LocalCluster
+from repro.cluster.rebuild import RebuildScheduler
+from repro.codes import make_code
+from repro.sim.clock import VirtualClock
+from repro.sim.transport import MemoryTransport
+
+__all__ = [
+    "DivergenceError",
+    "SimScenario",
+    "ScenarioResult",
+    "generate_scenario",
+    "run_scenario",
+    "SIM_POLICY",
+]
+
+
+class DivergenceError(AssertionError):
+    """Two oracles disagreed -- the divergence the fuzzer hunts for.
+
+    ``context`` carries enough structure (op index, oracle pair, first
+    differing offset) for the shrinker's "still the same failure?"
+    predicate and for human triage of a repro file.
+    """
+
+    def __init__(self, message: str, *, context: dict | None = None) -> None:
+        super().__init__(message)
+        self.context = dict(context or {})
+
+
+#: Retry policy every simulated scenario runs under: tight timeouts are
+#: free on a virtual clock, and seeded jitter exercises the backoff path.
+SIM_POLICY = RetryPolicy(
+    attempts=3, timeout=0.25, backoff=0.02, max_backoff=0.2, jitter=0.5
+)
+
+#: Geometry menu the generator draws from (small: shrink targets).
+GEOMETRY_PRIMES = (5, 7, 11, 13)
+GEOMETRY_ELEMENTS = (8, 16, 32)
+
+
+@dataclass
+class SimScenario:
+    """One seeded, replayable cluster campaign."""
+
+    seed: int
+    code: str = "liberation-optimal"
+    k: int = 3
+    p: int = 5
+    element_size: int = 8
+    n_stripes: int = 2
+    ops: list = field(default_factory=list)
+
+    # -- (de)serialisation --------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "scenario",
+            "seed": self.seed,
+            "code": self.code,
+            "k": self.k,
+            "p": self.p,
+            "element_size": self.element_size,
+            "n_stripes": self.n_stripes,
+            "ops": self.ops,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SimScenario":
+        if d.get("kind", "scenario") != "scenario":
+            raise ValueError(f"not a scenario record: kind={d.get('kind')!r}")
+        return cls(
+            seed=int(d["seed"]),
+            code=d.get("code", "liberation-optimal"),
+            k=int(d["k"]),
+            p=int(d["p"]),
+            element_size=int(d["element_size"]),
+            n_stripes=int(d["n_stripes"]),
+            ops=list(d["ops"]),
+        )
+
+    def save(self, path) -> None:
+        with open(path, "w") as f:
+            json.dump(self.to_dict(), f, indent=2)
+            f.write("\n")
+
+    @classmethod
+    def load(cls, path) -> "SimScenario":
+        with open(path) as f:
+            return cls.from_dict(json.load(f))
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario run."""
+
+    digest: str  # SHA-256 over the whole trace
+    trace: list  # one record per op (+ the closing read-back)
+    virtual_end: float  # virtual seconds consumed
+    counters: dict  # final client-side metrics counters
+
+    def __eq__(self, other) -> bool:  # two runs compare by full trace
+        return isinstance(other, ScenarioResult) and self.digest == other.digest
+
+
+# -- generation ---------------------------------------------------------------
+
+
+def generate_scenario(seed: int) -> SimScenario:
+    """Derive a whole campaign from one integer seed."""
+    rng = random.Random(seed)
+    p = rng.choice(GEOMETRY_PRIMES)
+    k = rng.randint(2, min(5, p))
+    element_size = rng.choice(GEOMETRY_ELEMENTS)
+    n_stripes = rng.randint(2, 4)
+    sc = SimScenario(
+        seed=seed, k=k, p=p, element_size=element_size, n_stripes=n_stripes
+    )
+    capacity = k * p * element_size * n_stripes
+
+    impaired: set[int] = set()
+    n_cols = k + 2
+    ops: list = [{"op": "write", "offset": 0, "length": capacity, "seed": rng.getrandbits(31)}]
+
+    def io_span() -> tuple[int, int]:
+        if rng.random() < 0.3:  # full-array (exercises full-stripe path)
+            return 0, capacity
+        offset = rng.randrange(capacity)
+        length = min(capacity - offset, rng.randint(1, max(1, capacity // 2)))
+        return offset, length
+
+    for _ in range(rng.randint(3, 10)):
+        healthy = [c for c in range(n_cols) if c not in impaired]
+        choices = ["write", "read", "read_all", "transient_fault"]
+        if len(impaired) < 2:
+            choices += ["stop_node", "net_fault", "disk_fail", "latent"]
+        if impaired:
+            choices.append("rebuild")
+        kind = rng.choice(choices)
+
+        if kind == "write":
+            offset, length = io_span()
+            ops.append({"op": "write", "offset": offset, "length": length,
+                        "seed": rng.getrandbits(31)})
+        elif kind == "read":
+            offset, length = io_span()
+            ops.append({"op": "read", "offset": offset, "length": length})
+        elif kind == "read_all":
+            ops.append({"op": "read_all"})
+        elif kind == "transient_fault":
+            col = rng.choice(healthy)
+            plan = NetworkFaultPlan.random(rng, persistent=False)
+            ops.append({"op": "fault", "column": col, "plan": plan.to_header()})
+        elif kind == "stop_node":
+            col = rng.choice(healthy)
+            impaired.add(col)
+            ops.append({"op": "stop_node", "column": col})
+        elif kind == "net_fault":
+            col = rng.choice(healthy)
+            impaired.add(col)
+            plan = NetworkFaultPlan.random(rng, persistent=True)
+            ops.append({"op": "fault", "column": col, "plan": plan.to_header()})
+        elif kind == "disk_fail":
+            col = rng.choice(healthy)
+            impaired.add(col)
+            ops.append({"op": "disk_fail", "column": col})
+        elif kind == "latent":
+            col = rng.choice(healthy)
+            impaired.add(col)
+            ops.append({"op": "latent", "column": col,
+                        "stripe": rng.randrange(n_stripes)})
+        elif kind == "rebuild":
+            col = rng.choice(sorted(impaired))
+            impaired.discard(col)
+            ops.append({"op": "rebuild", "column": col})
+
+    ops.append({"op": "read_all"})
+    sc.ops = ops
+    return sc
+
+
+# -- execution ----------------------------------------------------------------
+
+
+def _payload(seed: int, length: int) -> bytes:
+    return np.random.default_rng(seed).bytes(length)
+
+
+def _sha(blob: bytes) -> str:
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _first_diff(a: bytes, b: bytes) -> int:
+    n = min(len(a), len(b))
+    for i in range(n):
+        if a[i] != b[i]:
+            return i
+    return n
+
+
+def run_scenario(
+    scenario: SimScenario, *, code_factory=make_code
+) -> ScenarioResult:
+    """Execute a scenario under virtual time; raises on any divergence.
+
+    ``code_factory`` is the injectable seam the fuzzer's self-tests use
+    to plant a known-buggy code and prove the harness catches it.
+    """
+
+    async def main() -> ScenarioResult:
+        clock = VirtualClock()
+        transport = MemoryTransport()
+        kwargs = {"p": scenario.p, "element_size": scenario.element_size}
+        cluster_code = code_factory(scenario.code, scenario.k, **kwargs)
+        model_code = code_factory(scenario.code, scenario.k, **kwargs)
+        cluster = LocalCluster(
+            cluster_code, scenario.n_stripes, transport=transport, clock=clock
+        )
+        model = RAID6Array(model_code, scenario.n_stripes)
+        trace: list = []
+
+        def check_read(i: int, op: dict, offset: int, got: bytes) -> None:
+            want = bytes(shadow[offset : offset + len(got)])
+            if got != want:
+                at = _first_diff(got, want)
+                raise DivergenceError(
+                    f"op[{i}] {op['op']}: cluster read diverges from shadow "
+                    f"bytes at offset {offset + at}",
+                    context={"op_index": i, "oracle": "cluster-vs-shadow",
+                             "offset": offset + at, "op": op},
+                )
+            model_got = model.read(offset, len(got))
+            if got != model_got:
+                at = _first_diff(got, model_got)
+                raise DivergenceError(
+                    f"op[{i}] {op['op']}: cluster read diverges from the "
+                    f"single-process RAID6Array at offset {offset + at}",
+                    context={"op_index": i, "oracle": "cluster-vs-raid6array",
+                             "offset": offset + at, "op": op},
+                )
+
+        async with cluster:
+            arr = cluster.array(
+                policy=SIM_POLICY, rng=random.Random(scenario.seed ^ 0x5EED)
+            )
+            shadow = bytearray(arr.capacity)
+
+            for i, op in enumerate(scenario.ops):
+                kind = op["op"]
+                record: dict = {"i": i, "op": kind}
+                if kind == "write":
+                    offset, length = int(op["offset"]), int(op["length"])
+                    data = _payload(int(op["seed"]), length)
+                    await arr.write(offset, data)
+                    model.write(offset, data)
+                    shadow[offset : offset + length] = data
+                    record["sha"] = _sha(data)
+                elif kind == "read":
+                    offset, length = int(op["offset"]), int(op["length"])
+                    got = await arr.read(offset, length)
+                    check_read(i, op, offset, got)
+                    record["sha"] = _sha(got)
+                elif kind == "read_all":
+                    got = await arr.read(0, arr.capacity)
+                    check_read(i, op, 0, got)
+                    record["sha"] = _sha(got)
+                elif kind == "stop_node":
+                    await cluster.stop_node(int(op["column"]))
+                elif kind == "fault":
+                    col = int(op["column"])
+                    cluster.nodes[col].faults = NetworkFaultPlan.from_header(
+                        op["plan"]
+                    )
+                elif kind == "disk_fail":
+                    cluster.nodes[int(op["column"])].disk.fail()
+                elif kind == "latent":
+                    cluster.nodes[int(op["column"])].disk.mark_latent_error(
+                        int(op["stripe"])
+                    )
+                elif kind == "rebuild":
+                    col = int(op["column"])
+                    addr = await cluster.start_replacement(col)
+                    sched = RebuildScheduler(arr, batch_stripes=2)
+                    rebuilt = await sched.rebuild_column(col, addr)
+                    cluster.promote_replacement(col)
+                    record["stripes"] = rebuilt
+                else:
+                    raise ValueError(f"unknown scenario op {kind!r}")
+                record["t"] = round(clock.time(), 9)
+                trace.append(record)
+
+            counters = arr.metrics.snapshot()["counters"]
+        trace.append({"counters": counters})
+        digest = _sha(
+            json.dumps(trace, sort_keys=True, separators=(",", ":")).encode()
+        )
+        return ScenarioResult(
+            digest=digest,
+            trace=trace,
+            virtual_end=clock.time(),
+            counters=counters,
+        )
+
+    return asyncio.run(main())

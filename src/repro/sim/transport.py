@@ -1,0 +1,181 @@
+"""Injectable byte transport: real asyncio sockets or in-memory pipes.
+
+:class:`~repro.cluster.node.StripNode` and
+:class:`~repro.cluster.client.NodeClient` speak to each other through a
+:class:`Transport`: ``serve()`` binds a listener and ``connect()``
+yields a ``(StreamReader, writer)`` pair.  :class:`AsyncioTransport`
+is the production default and delegates to ``asyncio.start_server`` /
+``asyncio.open_connection`` unchanged.
+
+:class:`MemoryTransport` replaces the network with deterministic
+in-process pipes: a listener is an entry in a dict, a connection is a
+pair of :class:`asyncio.StreamReader` buffers cross-wired through
+:class:`MemoryStreamWriter`.  Connecting to an address nobody serves
+raises :class:`ConnectionRefusedError` and closing a writer feeds EOF
+to the peer -- exactly the failure surface the cluster's retry and
+degraded-read machinery is written against, minus the kernel's timing
+noise.  Combined with :class:`~repro.sim.clock.VirtualClock` this makes
+whole cluster scenarios replay bit-identically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable
+
+__all__ = [
+    "Transport",
+    "AsyncioTransport",
+    "MemoryTransport",
+    "MemoryStreamWriter",
+]
+
+#: Signature of a connection handler (what ``asyncio.start_server`` takes).
+ConnectionHandler = Callable[[asyncio.StreamReader, "object"], Awaitable[None]]
+
+
+class Transport:
+    """Interface shared by the real and in-memory transports."""
+
+    async def serve(self, handler: ConnectionHandler, host: str, port: int):
+        """Bind a listener; returns an object with ``address`` /
+        ``close()`` / ``wait_closed()``."""
+        raise NotImplementedError
+
+    async def connect(self, address: tuple[str, int]):
+        """Open a client connection; returns ``(reader, writer)``."""
+        raise NotImplementedError
+
+
+# -- production: real sockets ------------------------------------------------
+
+
+class _AsyncioListener:
+    """Adapter giving ``asyncio.AbstractServer`` the seam's listener API."""
+
+    def __init__(self, server: asyncio.AbstractServer) -> None:
+        self._server = server
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._server.sockets[0].getsockname()[:2]
+
+    def close(self) -> None:
+        self._server.close()
+
+    async def wait_closed(self) -> None:
+        await self._server.wait_closed()
+
+
+class AsyncioTransport(Transport):
+    """Real TCP via asyncio (the default everywhere)."""
+
+    async def serve(self, handler: ConnectionHandler, host: str, port: int):
+        return _AsyncioListener(await asyncio.start_server(handler, host, port))
+
+    async def connect(self, address: tuple[str, int]):
+        return await asyncio.open_connection(*address)
+
+
+# -- simulation: in-memory pipes ---------------------------------------------
+
+
+class MemoryStreamWriter:
+    """Writer half of an in-memory pipe.
+
+    Implements the subset of :class:`asyncio.StreamWriter` the cluster
+    uses (``write``/``drain``/``close``/``wait_closed``/``is_closing``).
+    Bytes feed straight into the peer's :class:`asyncio.StreamReader`;
+    ``close()`` feeds EOF, so a peer blocked in ``readexactly`` sees
+    :class:`asyncio.IncompleteReadError` just as it would on a dropped
+    TCP connection.
+    """
+
+    def __init__(self, peer_reader: asyncio.StreamReader) -> None:
+        self._peer = peer_reader
+        self._closed = False
+
+    def write(self, data: bytes) -> None:
+        if self._closed:
+            raise ConnectionResetError("memory pipe is closed")
+        if data:
+            self._peer.feed_data(bytes(data))
+
+    async def drain(self) -> None:
+        if self._closed:
+            raise ConnectionResetError("memory pipe is closed")
+        # Yield once, like a real drain, so writers never starve readers.
+        await asyncio.sleep(0)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._peer.feed_eof()
+
+    def is_closing(self) -> bool:
+        return self._closed
+
+    async def wait_closed(self) -> None:
+        return None
+
+
+class _MemoryListener:
+    def __init__(self, transport: "MemoryTransport", key: tuple[str, int]) -> None:
+        self._transport = transport
+        self._key = key
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._key
+
+    def close(self) -> None:
+        self._transport._listeners.pop(self._key, None)
+
+    async def wait_closed(self) -> None:
+        return None
+
+
+class MemoryTransport(Transport):
+    """A private in-process 'network' of handler registrations.
+
+    Each instance is an isolated namespace: nodes and clients must share
+    the same ``MemoryTransport`` to see each other, which is what keeps
+    concurrently running simulations from cross-talking.
+    """
+
+    #: Where ephemeral 'ports' start; real OSes use the same range.
+    EPHEMERAL_BASE = 49152
+
+    def __init__(self) -> None:
+        self._listeners: dict[tuple[str, int], ConnectionHandler] = {}
+        self._next_port = self.EPHEMERAL_BASE
+        self._conn_tasks: set[asyncio.Task] = set()
+
+    async def serve(self, handler: ConnectionHandler, host: str, port: int):
+        if port == 0:
+            port = self._next_port
+            self._next_port += 1
+        key = (str(host), int(port))
+        if key in self._listeners:
+            raise OSError(f"memory transport: address {key} already in use")
+        self._listeners[key] = handler
+        return _MemoryListener(self, key)
+
+    async def connect(self, address: tuple[str, int]):
+        key = (str(address[0]), int(address[1]))
+        handler = self._listeners.get(key)
+        if handler is None:
+            raise ConnectionRefusedError(
+                f"memory transport: nothing listening on {key}"
+            )
+        client_reader = asyncio.StreamReader()
+        server_reader = asyncio.StreamReader()
+        client_writer = MemoryStreamWriter(server_reader)
+        server_writer = MemoryStreamWriter(client_reader)
+        task = asyncio.get_running_loop().create_task(
+            handler(server_reader, server_writer)
+        )
+        # Keep a strong reference so handlers are never GC-cancelled.
+        self._conn_tasks.add(task)
+        task.add_done_callback(self._conn_tasks.discard)
+        return client_reader, client_writer

@@ -1,9 +1,11 @@
 """Shared helpers for the cluster test suite.
 
 Tests drive asyncio directly (``asyncio.run`` per test) so the suite
-has no plugin dependency; the retry policy below keeps the failure
-drills fast (a fully-lost node costs one refused connection plus a
-10 ms backoff per attempt).
+has no plugin dependency.  Functional drills run on the simulation
+seam (:func:`sim_cluster`: in-memory transport + virtual clock), so
+timeouts and backoff consume virtual seconds only and every run is
+deterministic; the handful of tests that exercise real loopback
+sockets use :func:`liberation_cluster` and carry ``@pytest.mark.slow``.
 """
 
 import numpy as np
@@ -11,16 +13,27 @@ import pytest
 
 from repro.cluster import LocalCluster, RetryPolicy
 from repro.codes import make_code
+from repro.sim import MemoryTransport, VirtualClock
 
-#: Snappy timeouts for loopback: total worst case per lost strip is
-#: attempts * timeout, so keep both small.
+#: Snappy timeouts: on the virtual clock they cost nothing; on real
+#: loopback the worst case per lost strip is attempts * timeout.
 FAST_POLICY = RetryPolicy(attempts=2, timeout=0.5, backoff=0.01, max_backoff=0.02)
 
 
 def liberation_cluster(k=3, p=5, element_size=64, n_stripes=6):
-    """A small Liberation-optimal cluster (not started yet)."""
+    """A small Liberation-optimal cluster on real sockets (not started)."""
     code = make_code("liberation-optimal", k, p=p, element_size=element_size)
     return code, LocalCluster(code, n_stripes)
+
+
+def sim_cluster(k=3, p=5, element_size=64, n_stripes=6):
+    """The same cluster on the simulation seam: zero sockets, zero
+    real sleeps, deterministic scheduling."""
+    code = make_code("liberation-optimal", k, p=p, element_size=element_size)
+    cluster = LocalCluster(
+        code, n_stripes, transport=MemoryTransport(), clock=VirtualClock()
+    )
+    return code, cluster
 
 
 def payload_for(array, *, seed=0) -> bytes:

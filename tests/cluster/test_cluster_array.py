@@ -1,5 +1,10 @@
 """End-to-end tests of the distributed array: striping, degraded
-reads with any two nodes stopped, metrics, and background rebuild."""
+reads with any two nodes stopped, metrics, and background rebuild.
+
+Everything runs on the simulation seam (in-memory transport + virtual
+clock): same code paths as production, none of the socket timing
+noise.  Real-socket coverage lives in ``test_node.py`` (marked slow).
+"""
 
 import asyncio
 import itertools
@@ -8,13 +13,13 @@ import numpy as np
 import pytest
 
 from repro.cluster import ClusterArray, ClusterDegradedError, RebuildScheduler, RetryPolicy
-from tests.cluster.conftest import FAST_POLICY, liberation_cluster, payload_for
+from tests.cluster.conftest import FAST_POLICY, payload_for, sim_cluster
 
 
 class TestHealthyPath:
     def test_write_read_round_trip(self):
         async def run():
-            code, cluster = liberation_cluster()
+            code, cluster = sim_cluster()
             async with cluster:
                 arr = cluster.array(policy=FAST_POLICY)
                 data = payload_for(arr, seed=1)
@@ -26,7 +31,7 @@ class TestHealthyPath:
 
     def test_unaligned_rmw_write(self):
         async def run():
-            code, cluster = liberation_cluster()
+            code, cluster = sim_cluster()
             async with cluster:
                 arr = cluster.array(policy=FAST_POLICY)
                 data = bytearray(payload_for(arr, seed=2))
@@ -44,7 +49,7 @@ class TestHealthyPath:
 
     def test_partial_reads_slice_correctly(self):
         async def run():
-            code, cluster = liberation_cluster(n_stripes=4)
+            code, cluster = sim_cluster(n_stripes=4)
             async with cluster:
                 arr = cluster.array(policy=FAST_POLICY)
                 data = payload_for(arr, seed=3)
@@ -60,7 +65,7 @@ class TestHealthyPath:
 
     def test_out_of_range_io_rejected(self):
         async def run():
-            code, cluster = liberation_cluster(n_stripes=2)
+            code, cluster = sim_cluster(n_stripes=2)
             async with cluster:
                 arr = cluster.array(policy=FAST_POLICY)
                 with pytest.raises(ValueError):
@@ -71,7 +76,7 @@ class TestHealthyPath:
         asyncio.run(run())
 
     def test_address_count_validated(self):
-        code, cluster = liberation_cluster()
+        code, cluster = sim_cluster()
         with pytest.raises(ValueError):
             ClusterArray(code, [("127.0.0.1", 1)] * (code.n_cols - 1), 4)
 
@@ -81,11 +86,11 @@ class TestDegradedReads:
         """The acceptance drill: every 2-of-(k+2) loss pattern."""
 
         async def run():
-            code, _ = liberation_cluster(n_stripes=4)
+            code, _ = sim_cluster(n_stripes=4)
             victims = list(itertools.combinations(range(code.n_cols), 2))
             results = []
             for pair in victims:
-                async with liberation_cluster(n_stripes=4)[1] as cl:
+                async with sim_cluster(n_stripes=4)[1] as cl:
                     arr = cl.array(policy=FAST_POLICY)
                     data = payload_for(arr, seed=7)
                     await arr.write(0, data)
@@ -109,7 +114,7 @@ class TestDegradedReads:
 
     def test_parity_only_loss_is_invisible_to_reads(self):
         async def run():
-            code, cluster = liberation_cluster(n_stripes=3)
+            code, cluster = sim_cluster(n_stripes=3)
             async with cluster:
                 arr = cluster.array(policy=FAST_POLICY)
                 data = payload_for(arr, seed=8)
@@ -125,7 +130,7 @@ class TestDegradedReads:
 
     def test_three_lost_columns_raise(self):
         async def run():
-            code, cluster = liberation_cluster(n_stripes=2)
+            code, cluster = sim_cluster(n_stripes=2)
             async with cluster:
                 arr = cluster.array(policy=FAST_POLICY)
                 await arr.write(0, payload_for(arr, seed=9))
@@ -141,7 +146,7 @@ class TestDegradedReads:
         back (through parity) and survives a *different* loss later."""
 
         async def run():
-            code, cluster = liberation_cluster(n_stripes=3)
+            code, cluster = sim_cluster(n_stripes=3)
             async with cluster:
                 arr = cluster.array(policy=FAST_POLICY)
                 data = payload_for(arr, seed=10)
@@ -160,7 +165,7 @@ class TestRebuild:
         """Lose two nodes, rebuild both, then survive losing two more."""
 
         async def run():
-            code, cluster = liberation_cluster(n_stripes=5)
+            code, cluster = sim_cluster(n_stripes=5)
             async with cluster:
                 arr = cluster.array(policy=FAST_POLICY)
                 data = payload_for(arr, seed=11)
@@ -194,7 +199,7 @@ class TestRebuild:
 
     def test_array_serves_while_rebuild_runs(self):
         async def run():
-            code, cluster = liberation_cluster(n_stripes=6)
+            code, cluster = sim_cluster(n_stripes=6)
             async with cluster:
                 arr = cluster.array(policy=FAST_POLICY)
                 data = payload_for(arr, seed=12)
@@ -215,7 +220,7 @@ class TestRebuild:
 
     def test_rebuild_survives_concurrent_second_loss(self):
         async def run():
-            code, cluster = liberation_cluster(n_stripes=4)
+            code, cluster = sim_cluster(n_stripes=4)
             async with cluster:
                 arr = cluster.array(policy=FAST_POLICY)
                 data = payload_for(arr, seed=13)
@@ -236,7 +241,7 @@ class TestRebuild:
 class TestStatsView:
     def test_stats_aggregates_client_and_nodes(self):
         async def run():
-            code, cluster = liberation_cluster(n_stripes=2)
+            code, cluster = sim_cluster(n_stripes=2)
             async with cluster:
                 arr = cluster.array(policy=FAST_POLICY)
                 await arr.write(0, payload_for(arr, seed=14))

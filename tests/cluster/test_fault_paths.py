@@ -6,6 +6,10 @@ dropped mid-strip, corrupted frame checksum -- are installed on one
 node's data plane (persistently, so the retry budget cannot paper over
 them), and the array must answer byte-identical data by decoding
 around the sick column, with the failure visible in the metrics.
+
+The drills run on the simulation seam (virtual clock + in-memory
+transport), so the timeout drill's ``attempts * timeout`` per strip is
+virtual seconds, not wall time, and every run schedules identically.
 """
 
 import asyncio
@@ -14,9 +18,10 @@ import pytest
 
 from repro.array.faults import ALWAYS, NetworkFaultPlan
 from repro.cluster import RetryPolicy
-from tests.cluster.conftest import liberation_cluster, payload_for
+from tests.cluster.conftest import payload_for, sim_cluster
 
-#: Tight budget: the timeout drill pays attempts * timeout per strip.
+#: Tight budget: the timeout drill pays attempts * timeout per strip
+#: (in virtual seconds only).
 DRILL_POLICY = RetryPolicy(attempts=2, timeout=0.15, backoff=0.01, max_backoff=0.02)
 
 GEOMETRIES = [(3, 5), (5, 7), (7, 11)]  # (k, p) for Liberation
@@ -26,7 +31,7 @@ def drill(k: int, p: int, plan: NetworkFaultPlan, *, via_wire: bool = False):
     """Write, poison node 0 with ``plan``, read back; returns evidence."""
 
     async def run():
-        code, cluster = liberation_cluster(k=k, p=p, n_stripes=2)
+        code, cluster = sim_cluster(k=k, p=p, n_stripes=2)
         async with cluster:
             arr = cluster.array(policy=DRILL_POLICY)
             data = payload_for(arr, seed=p)

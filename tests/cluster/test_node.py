@@ -1,9 +1,17 @@
-"""Tests of a single strip node over real loopback sockets."""
+"""Tests of a single strip node over real loopback sockets.
+
+Marked slow: these bind actual TCP ports and pay real retry backoff.
+The equivalent logic runs socket-free in ``tests/sim`` and the
+sim-seam cluster tests; this module keeps the production transport
+honest (run with ``-m ""`` or ``-m slow``).
+"""
 
 import asyncio
 
 import numpy as np
 import pytest
+
+pytestmark = pytest.mark.slow
 
 from repro.array.faults import NetworkFaultPlan
 from repro.cluster import NodeClient, RemoteDiskError, RetryPolicy, StripNode, send_verb

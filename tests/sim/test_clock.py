@@ -1,0 +1,119 @@
+"""VirtualClock semantics: virtual seconds cost no wall time, fire in
+deadline order, and wait_for mirrors asyncio.wait_for."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.sim import RealClock, VirtualClock
+
+
+def test_virtual_sleep_costs_no_wall_time():
+    async def run():
+        clock = VirtualClock()
+        await clock.sleep(3600.0)
+        return clock.time()
+
+    wall0 = time.monotonic()
+    virtual = asyncio.run(run())
+    assert virtual == 3600.0
+    assert time.monotonic() - wall0 < 2.0  # an hour of virtual time, instantly
+
+
+def test_sleepers_fire_in_deadline_order():
+    async def run():
+        clock = VirtualClock()
+        order = []
+
+        async def napper(name, delay):
+            await clock.sleep(delay)
+            order.append((name, clock.time()))
+
+        await asyncio.gather(
+            napper("c", 3.0), napper("a", 1.0), napper("b", 2.0)
+        )
+        return order
+
+    order = asyncio.run(run())
+    assert order == [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+
+
+def test_time_starts_at_start_and_is_monotonic():
+    async def run():
+        clock = VirtualClock(start=100.0)
+        assert clock.time() == 100.0
+        await clock.sleep(0.5)
+        assert clock.time() == 100.5
+        await clock.sleep(0)  # zero-sleep must not advance time
+        assert clock.time() == 100.5
+
+    asyncio.run(run())
+
+
+def test_wait_for_timeout_cancels_and_raises():
+    async def run():
+        clock = VirtualClock()
+        cancelled = asyncio.Event()
+
+        async def forever():
+            try:
+                await clock.sleep(10_000.0)
+            except asyncio.CancelledError:
+                cancelled.set()
+                raise
+
+        with pytest.raises(asyncio.TimeoutError):
+            await clock.wait_for(forever(), timeout=0.25)
+        assert cancelled.is_set()
+        return clock.time()
+
+    assert asyncio.run(run()) == pytest.approx(0.25)
+
+
+def test_wait_for_returns_result_before_timeout():
+    async def run():
+        clock = VirtualClock()
+
+        async def quick():
+            await clock.sleep(0.1)
+            return "done"
+
+        result = await clock.wait_for(quick(), timeout=50.0)
+        return result, clock.time()
+
+    result, t = asyncio.run(run())
+    assert result == "done"
+    assert t == pytest.approx(0.1)  # the loser timer never fires
+
+
+def test_interleaved_sleep_chains_are_deterministic():
+    """Two runs of the same concurrent sleep pattern trace identically."""
+
+    def campaign():
+        async def run():
+            clock = VirtualClock()
+            trace = []
+
+            async def worker(name, period, n):
+                for i in range(n):
+                    await clock.sleep(period)
+                    trace.append((name, i, clock.time()))
+
+            await asyncio.gather(worker("x", 0.3, 4), worker("y", 0.5, 3))
+            return trace
+
+        return asyncio.run(run())
+
+    assert campaign() == campaign()
+
+
+def test_real_clock_smoke():
+    async def run():
+        clock = RealClock()
+        t0 = clock.time()
+        await clock.sleep(0)
+        assert clock.time() >= t0
+        assert await clock.wait_for(asyncio.sleep(0, result=7), timeout=5.0) == 7
+
+    asyncio.run(run())

@@ -1,0 +1,116 @@
+"""The differential fuzzer tested against itself.
+
+The load-bearing test here is the ISSUE's acceptance drill: plant a
+code with a single flipped XOR in its encode schedule, and the fuzzer
+must catch it, shrink it to a minimal case, and write a repro file
+that replays -- all in under 60 seconds.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.codes import make_code
+from repro.codes.liberation import LiberationOptimal
+from repro.engine.ops import Schedule, XorOp
+from repro.sim import StripeCase, fuzz, replay_file, shrink_case
+from repro.sim.differential import run_stripe_case
+from repro.sim.shrink import failure_signature
+
+
+class BuggyOptimal(LiberationOptimal):
+    """LiberationOptimal with one accumulate reading the wrong row."""
+
+    name = "liberation-optimal"
+
+    def build_encode_schedule(self):
+        good = super().build_encode_schedule()
+        ops = list(good)
+        for i, op in enumerate(ops):
+            if not op.copy:
+                ops[i] = XorOp(op.dst_col, op.dst_row, op.src_col,
+                               (op.src_row + 1) % good.rows)
+                break
+        return Schedule(good.cols, good.rows, ops)
+
+
+def buggy_factory(name, k, **kwargs):
+    if name == "liberation-optimal":
+        return BuggyOptimal(k, **kwargs)
+    return make_code(name, k, **kwargs)
+
+
+class TestCleanStack:
+    def test_fuzz_is_clean_on_the_real_stack(self):
+        assert fuzz(seed=100, max_cases=8) is None
+
+    def test_progress_callback_sees_every_case(self):
+        seen = []
+        fuzz(seed=0, max_cases=6, scenarios=False,
+             on_progress=lambda n, rec: seen.append((n, rec["kind"])))
+        assert [n for n, _ in seen] == [1, 2, 3, 4, 5, 6]
+        assert all(kind == "stripe" for _, kind in seen)
+
+    def test_time_budget_terminates(self):
+        t0 = time.monotonic()
+        assert fuzz(seed=0, time_budget=1.0, scenarios=False) is None
+        assert time.monotonic() - t0 < 30.0
+
+    def test_stripe_case_generation_is_pure(self):
+        assert StripeCase.generate(9).to_dict() == StripeCase.generate(9).to_dict()
+
+
+class TestInjectedBug:
+    def test_flipped_xor_caught_shrunk_and_replayable(self, tmp_path):
+        """The ISSUE's acceptance drill, with its 60-second budget."""
+        t0 = time.monotonic()
+        failure = fuzz(seed=0, max_cases=50, code_factory=buggy_factory)
+        assert failure is not None, "fuzzer missed a flipped XOR"
+        assert failure.cases_run >= 1
+
+        # Shrinking reached the floor of the geometry menu.
+        shrunk = failure.shrunk
+        assert shrunk["p"] == 5
+        assert shrunk["k"] == 2
+        assert shrunk["element_size"] == 8
+
+        # The repro file replays: still failing on the buggy stack,
+        # passing on the healthy one.
+        repro = tmp_path / "repro.json"
+        failure.save(repro)
+        err = replay_file(repro, code_factory=buggy_factory)
+        assert err is not None
+        assert replay_file(repro) is None
+
+        assert time.monotonic() - t0 < 60.0, "acceptance budget blown"
+
+        record = json.loads(repro.read_text())
+        assert record["original"] == failure.case
+        assert "error" in record
+
+    def test_direct_stripe_case_diverges(self):
+        case = StripeCase(seed=0, p=5, k=2, element_size=8, erasures=[])
+        with pytest.raises(AssertionError, match="encode"):
+            run_stripe_case(case, code_factory=buggy_factory)
+
+
+class TestShrinker:
+    def test_signature_none_on_healthy_case(self):
+        case = StripeCase.generate(4).to_dict()
+        assert failure_signature(case) is None
+
+    def test_shrink_preserves_signature_and_reduces(self):
+        big = StripeCase(seed=33, p=13, k=8, element_size=32,
+                         erasures=[0, 9]).to_dict()
+        target = failure_signature(big, code_factory=buggy_factory)
+        assert target is not None
+        small = shrink_case(big, code_factory=buggy_factory)
+        assert failure_signature(small, code_factory=buggy_factory) == target
+        assert (small["p"], small["k"]) == (5, 2)
+        assert small["element_size"] == 8
+        assert small["erasures"] == []
+
+    def test_shrink_returns_unreproducible_case_unchanged(self):
+        healthy = StripeCase.generate(4).to_dict()
+        assert shrink_case(healthy) == healthy

@@ -122,7 +122,10 @@ class TestInfo:
         assert "liberation-optimal" in out and "lower-bound" in out
 
 
+@pytest.mark.slow
 class TestServeAndStats:
+    """Real sockets + a background thread: slow-marked like test_node."""
+
     def serve_in_thread(self, tmp_path, *extra):
         """Start `serve` on an ephemeral port; returns (thread, port)."""
         import threading
