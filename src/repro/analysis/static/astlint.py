@@ -1,0 +1,175 @@
+"""Project AST lint: the simulation-seam invariant.
+
+The deterministic-simulation harness (``repro.sim``) only works if
+library code never consults an ambient source of nondeterminism -- a
+wall clock or a process-global RNG -- behind the simulator's back.
+Time must flow through the sim clock, and randomness through a seeded
+generator passed in by the caller.  This pass walks every module's AST
+and flags, outside the approved seams:
+
+* calls to ``time.time`` / ``time.sleep`` / ``time.monotonic`` /
+  ``time.perf_counter`` (and their ``_ns`` / ``process_time``
+  variants), however the module was imported or the function aliased;
+* calls through the ``random`` module's *global* generator
+  (``random.random()``, ``random.randint``, ``random.seed``, ...) and
+  the legacy ``numpy.random.*`` global equivalents;
+* **unseeded** explicit generators -- ``random.Random()`` or
+  ``numpy.random.default_rng()`` with no arguments, which smuggle in OS
+  entropy.  Seeded instances are fine anywhere: an explicitly-seeded,
+  dependency-injected generator *is* the approved pattern.
+
+Approved seams: ``repro.sim`` (owns simulated time/randomness) and
+``repro.bench`` (wall-clock measurement is its whole point).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["AstLintFinding", "DEFAULT_SEAMS", "lint_source", "lint_project"]
+
+#: Module path prefixes (relative to the package root, "/"-separated)
+#: where wall clocks and randomness are part of the contract.
+DEFAULT_SEAMS: tuple[str, ...] = ("sim/", "sim.py", "bench/", "bench.py")
+
+_CLOCK_CALLS = frozenset(
+    f"time.{name}"
+    for name in (
+        "time", "time_ns", "sleep", "monotonic", "monotonic_ns",
+        "perf_counter", "perf_counter_ns", "process_time", "process_time_ns",
+    )
+)
+
+
+@dataclass(frozen=True)
+class AstLintFinding:
+    """One sim-seam violation in project source."""
+
+    path: str
+    line: int
+    symbol: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.symbol}: {self.message}"
+
+
+class _SeamVisitor(ast.NodeVisitor):
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.findings: list[AstLintFinding] = []
+        #: local name -> fully qualified dotted name it stands for.
+        self.aliases: dict[str, str] = {}
+
+    # -- import tracking ---------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name.split(".")[0]] = (
+                alias.name if alias.asname else alias.name.split(".")[0]
+            )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                self.aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+        self.generic_visit(node)
+
+    # -- call resolution ---------------------------------------------------
+
+    def _qualname(self, expr: ast.expr) -> str | None:
+        """Resolve an expression to a dotted name, through import aliases."""
+        parts: list[str] = []
+        while isinstance(expr, ast.Attribute):
+            parts.append(expr.attr)
+            expr = expr.value
+        if not isinstance(expr, ast.Name):
+            return None
+        parts.append(self.aliases.get(expr.id, expr.id))
+        return ".".join(reversed(parts))
+
+    def _flag(self, node: ast.Call, symbol: str, message: str) -> None:
+        self.findings.append(
+            AstLintFinding(self.path, node.lineno, symbol, message)
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        full = self._qualname(node.func)
+        if full is not None:
+            self._check_call(node, full)
+        self.generic_visit(node)
+
+    def _check_call(self, node: ast.Call, full: str) -> None:
+        if full in _CLOCK_CALLS:
+            self._flag(
+                node, full,
+                "wall-clock call outside the sim seam; take time from the "
+                "simulation clock or a caller-provided now()",
+            )
+            return
+        root, _, rest = full.partition(".")
+        if root == "random" and rest:
+            if rest == "Random":
+                if not node.args and not node.keywords:
+                    self._flag(
+                        node, full,
+                        "unseeded random.Random() draws OS entropy; pass an "
+                        "explicit seed or a caller-provided generator",
+                    )
+            else:
+                self._flag(
+                    node, full,
+                    "call through the process-global random generator; use a "
+                    "seeded random.Random instance passed in by the caller",
+                )
+            return
+        if full.startswith("numpy.random.") or full.startswith("np.random."):
+            leaf = full.rsplit(".", 1)[1]
+            if leaf == "default_rng":
+                if not node.args and not node.keywords:
+                    self._flag(
+                        node, full,
+                        "unseeded numpy default_rng() draws OS entropy; pass "
+                        "an explicit seed",
+                    )
+            elif leaf not in ("Generator", "SeedSequence", "BitGenerator", "PCG64"):
+                self._flag(
+                    node, full,
+                    "legacy numpy global-RNG call; use a seeded "
+                    "numpy.random.default_rng(seed) generator",
+                )
+
+
+def lint_source(source: str, path: str) -> list[AstLintFinding]:
+    """Lint one module's source text (``path`` is for diagnostics)."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:  # a broken file is itself a finding
+        return [AstLintFinding(path, exc.lineno or 0, "syntax", str(exc.msg))]
+    visitor = _SeamVisitor(path)
+    visitor.visit(tree)
+    return visitor.findings
+
+
+def lint_project(
+    root: str | Path | None = None,
+    *,
+    seams: tuple[str, ...] = DEFAULT_SEAMS,
+) -> list[AstLintFinding]:
+    """Lint every module under ``root`` (default: the installed
+    ``repro`` package), skipping the approved seam subtrees."""
+    if root is None:
+        import repro
+
+        root = Path(repro.__file__).parent
+    root = Path(root)
+    findings: list[AstLintFinding] = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        if any(rel == seam or rel.startswith(seam) for seam in seams):
+            continue
+        findings.extend(lint_source(path.read_text(encoding="utf-8"), rel))
+    return findings

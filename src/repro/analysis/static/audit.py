@@ -1,0 +1,259 @@
+"""XOR-optimality auditor and the machine-readable analysis report.
+
+This is the batch driver behind ``repro analyze`` and the CI gate: for
+every requested ``(family, p, k)`` geometry it
+
+1. symbolically **proves** the encode schedule and the decode schedule
+   of every single/double erasure pattern correct
+   (:mod:`repro.analysis.static.prover`);
+2. **audits** XOR counts against the paper's lower bound of ``k-1``
+   XORs per parity bit (:func:`repro.analysis.static.spec.spec_xor_lower_bound`),
+   recording whether the encode schedule *meets* the bound -- the
+   paper's headline claim for Liberation's optimal algorithms;
+3. runs the data-flow **lints** (:mod:`repro.analysis.static.lints`)
+   over every schedule.
+
+The report is a plain dict tree (JSON-serialisable); :class:`AnalysisReport`
+wraps it with gate logic: any proof failure, structural violation or
+lint is fatal, and so is ``liberation-optimal`` missing the bound,
+since that would mean the reproduction no longer reproduces the paper.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.analysis.static.lints import lint_schedule
+from repro.analysis.static.prover import Proof, erasure_patterns, prove_decode, prove_encode
+from repro.analysis.static.spec import spec_xor_lower_bound
+from repro.codes.base import XorScheduleCode
+
+__all__ = [
+    "DEFAULT_PRIMES",
+    "AnalysisReport",
+    "analyze_family",
+    "analyze_geometry",
+    "default_families",
+    "run_analysis",
+]
+
+#: The primes the paper evaluates (and the CI gate proves over).
+DEFAULT_PRIMES: tuple[int, ...] = (5, 7, 11, 13)
+
+#: Families whose encode schedules are *claimed* optimal; the gate
+#: fails if any of their geometries misses the k-1 bound.
+OPTIMAL_FAMILIES: frozenset[str] = frozenset({"liberation-optimal"})
+
+
+def default_families() -> tuple[str, ...]:
+    """The schedule-based families the auditor covers by default."""
+    return ("liberation-optimal", "liberation-original", "evenodd", "rdp", "blaum-roth")
+
+
+def family_ks(family: str, p: int) -> range:
+    """Valid ``k`` range for a family at prime ``p``."""
+    if family in ("rdp", "blaum-roth"):
+        return range(2, p)  # k <= p-1
+    return range(2, p + 1)  # k <= p
+
+
+def make_family_code(family: str, k: int, p: int) -> XorScheduleCode:
+    from repro.codes.registry import make_code
+
+    try:
+        code = make_code(family, k, p=p)
+    except TypeError:
+        # Families without a prime parameter (e.g. cauchy-rs, whose
+        # geometry is w-based) -- and non-schedule codes, which the
+        # isinstance check below rejects with a better message.
+        code = make_code(family, k)
+    if not isinstance(code, XorScheduleCode):
+        raise TypeError(f"{family} is not schedule-based; cannot analyze statically")
+    return code
+
+
+def _audit_schedule(code: XorScheduleCode, proof: Proof, sched) -> dict:
+    outputs: set[tuple[int, int]]
+    if proof.kind == "encode":
+        outputs = {
+            (col, row)
+            for col in (code.p_col, code.q_col)
+            for row in range(code.rows)
+        }
+    else:
+        outputs = {(col, row) for col in proof.erasures for row in range(code.rows)}
+    lints = lint_schedule(sched, outputs=outputs)
+    return {
+        "proof": proof.to_dict(),
+        "lints": [str(li) for li in lints],
+    }
+
+
+def analyze_geometry(
+    family: str,
+    p: int,
+    k: int,
+    *,
+    patterns: Sequence[tuple[int, ...]] | None = None,
+) -> dict:
+    """Prove, audit and lint every schedule of one ``(family, p, k)``."""
+    code = make_family_code(family, k, p)
+    pats = list(patterns) if patterns is not None else erasure_patterns(code.n_cols)
+
+    enc_sched = code.build_encode_schedule()
+    enc_proof = prove_encode(code, enc_sched)
+    enc = _audit_schedule(code, enc_proof, enc_sched)
+    bound = spec_xor_lower_bound(code)
+    enc.update(
+        n_xors=enc_sched.n_xors,
+        per_bit=enc_sched.n_xors / (2 * code.rows),
+        bound_per_bit=float(k - 1),
+        gap=enc_sched.n_xors - bound,
+        optimal=enc_sched.n_xors == bound,
+    )
+
+    decode: list[dict] = []
+    worst = 0.0
+    worst_two_data = 0.0
+    for pat in pats:
+        sched = code.build_decode_schedule(pat)
+        proof = prove_decode(code, pat, sched)
+        entry = _audit_schedule(code, proof, sched)
+        per_bit = sched.n_xors / (len(pat) * code.rows) if pat else 0.0
+        entry.update(n_xors=sched.n_xors, per_bit=per_bit)
+        worst = max(worst, per_bit)
+        if len(pat) == 2 and all(c < code.k for c in pat):
+            worst_two_data = max(worst_two_data, per_bit)
+        decode.append(entry)
+
+    failures: list[str] = []
+    for entry in (enc, *decode):
+        pr = entry["proof"]
+        what = pr["kind"] if pr["kind"] == "encode" else f"decode{tuple(pr['erasures'])}"
+        failures.extend(f"{what}: {msg}" for msg in pr["failures"])
+        failures.extend(f"{what}: {msg}" for msg in entry["lints"])
+    if family in OPTIMAL_FAMILIES and not enc["optimal"]:
+        failures.append(
+            f"encode: {enc_sched.n_xors} XORs exceeds the k-1 bound ({bound}) "
+            f"for a family claimed optimal"
+        )
+
+    return {
+        "family": family,
+        "p": p,
+        "k": k,
+        "rows": code.rows,
+        "encode": enc,
+        "decode": decode,
+        "decode_per_bit_max": worst,
+        "decode_two_data_per_bit_max": worst_two_data,
+        "failures": failures,
+        "ok": not failures,
+    }
+
+
+def analyze_family(
+    family: str,
+    p: int,
+    *,
+    ks: Iterable[int] | None = None,
+    on_progress: Callable[[str], None] | None = None,
+) -> list[dict]:
+    """Analyze every valid ``k`` (or the given ones) of a family at ``p``."""
+    results = []
+    for k in (ks if ks is not None else family_ks(family, p)):
+        if on_progress:
+            on_progress(f"{family} p={p} k={k}")
+        results.append(analyze_geometry(family, p, k))
+    return results
+
+
+@dataclass
+class AnalysisReport:
+    """Aggregated results of an auditor run, with CI-gate semantics."""
+
+    families: tuple[str, ...]
+    primes: tuple[int, ...]
+    results: list[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r["ok"] for r in self.results)
+
+    @property
+    def n_proofs(self) -> int:
+        return sum(1 + len(r["decode"]) for r in self.results)
+
+    def failures(self) -> list[str]:
+        out = []
+        for r in self.results:
+            out.extend(
+                f"{r['family']} p={r['p']} k={r['k']}: {msg}" for msg in r["failures"]
+            )
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "families": list(self.families),
+            "primes": list(self.primes),
+            "ok": self.ok,
+            "n_geometries": len(self.results),
+            "n_proofs": self.n_proofs,
+            "failures": self.failures(),
+            "results": self.results,
+        }
+
+    def summary_rows(self) -> list[dict]:
+        """One row per (family, p): the shape ``repro analyze`` prints."""
+        rows: list[dict] = []
+        seen: dict[tuple[str, int], dict] = {}
+        for r in self.results:
+            key = (r["family"], r["p"])
+            agg = seen.get(key)
+            if agg is None:
+                agg = {
+                    "family": r["family"],
+                    "p": r["p"],
+                    "geometries": 0,
+                    "proofs": 0,
+                    "proofs_failed": 0,
+                    "lints": 0,
+                    "encode_optimal": True,
+                    "encode_gap_max": 0,
+                }
+                seen[key] = agg
+                rows.append(agg)
+            agg["geometries"] += 1
+            agg["proofs"] += 1 + len(r["decode"])
+            agg["proofs_failed"] += sum(
+                0 if e["proof"]["ok"] else 1 for e in (r["encode"], *r["decode"])
+            )
+            agg["lints"] += sum(len(e["lints"]) for e in (r["encode"], *r["decode"]))
+            agg["encode_optimal"] = agg["encode_optimal"] and r["encode"]["optimal"]
+            agg["encode_gap_max"] = max(agg["encode_gap_max"], r["encode"]["gap"])
+        return rows
+
+
+def run_analysis(
+    families: Sequence[str] | None = None,
+    primes: Sequence[int] = DEFAULT_PRIMES,
+    *,
+    ks: Iterable[int] | None = None,
+    on_progress: Callable[[str], None] | None = None,
+) -> AnalysisReport:
+    """Run the full auditor over ``families`` x ``primes``.
+
+    ``ks`` restricts the per-geometry sweep (values invalid for a
+    family/prime are skipped); by default every valid ``k`` is proved.
+    """
+    fams = tuple(families) if families is not None else default_families()
+    report = AnalysisReport(families=fams, primes=tuple(primes))
+    for family in fams:
+        for p in primes:
+            valid = set(family_ks(family, p))
+            use = sorted(valid & set(ks)) if ks is not None else sorted(valid)
+            report.results.extend(
+                analyze_family(family, p, ks=use, on_progress=on_progress)
+            )
+    return report

@@ -1,0 +1,141 @@
+"""Data-flow lints over the XOR-schedule IR.
+
+The symbolic prover establishes a schedule *correct*; these lints flag
+schedules that are correct but wasteful or fragile -- the defects a
+schedule *generator* bug typically produces:
+
+* ``alias``        -- an op whose source is its own destination.  A
+  copy is a no-op; an accumulate zeroes the cell (``x ^ x = 0``), which
+  is never how these schedules clear state.
+* ``dead-write``   -- a write whose value is overwritten by a later
+  copy without ever being read.  Pure wasted XORs/bandwidth.
+* ``copy-clobber`` -- the dangerous flavour of dead write: the
+  overwriting copy kills a chain that *accumulated* terms, i.e. partial
+  parity someone paid XORs to build.  The classic generator bug is
+  emitting the initial copy of a destination *after* its accumulates.
+* ``self-cancel``  -- two accumulates of the same source into the same
+  destination with neither cell disturbed in between: the pair is a
+  GF(2) no-op costing two XORs.
+
+The pass is linear in schedule length.  ``outputs`` (when given) adds a
+final-liveness check: any cell whose last write chain was never read
+and which is not an output is reported as dead.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.analysis.static.symbolic import Cell
+from repro.engine.ops import Schedule
+
+__all__ = ["Lint", "lint_schedule"]
+
+
+@dataclass(frozen=True)
+class Lint:
+    """One data-flow finding, anchored to an op index."""
+
+    code: str  # "alias" | "dead-write" | "copy-clobber" | "self-cancel"
+    op_index: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.code}] op {self.op_index}: {self.message}"
+
+
+def lint_schedule(
+    schedule: Schedule,
+    *,
+    outputs: Iterable[Cell] | None = None,
+) -> list[Lint]:
+    """Run all data-flow lints over ``schedule``.
+
+    ``outputs``: the cells whose final values the schedule exists to
+    produce (parity cells for encode, erased cells for decode).  When
+    provided, writes left unread in any *other* cell at the end of the
+    schedule are reported as dead; scratch staging cells should not be
+    listed (their final values are intentionally abandoned, which is
+    fine -- what they staged was read).
+    """
+    findings: list[Lint] = []
+
+    # pending[c]: indices of writes to c not yet observed by any read of
+    # c as a source.  An accumulate folds the prior value into the new
+    # one, so prior pending writes stay pending (they still feed the
+    # value a later reader would see); a copy severs the chain.
+    pending: dict[Cell, list[int]] = {}
+    # was_acc[c]: whether any pending write to c was an accumulate.
+    was_acc: dict[Cell, bool] = {}
+    # acc_pair[(dst, src)]: index of a live accumulate of src into dst,
+    # invalidated by any write to src, any copy into dst, or any read of
+    # dst (an observed intermediate is not redundant).
+    acc_pair: dict[tuple[Cell, Cell], int] = {}
+
+    for i, op in enumerate(schedule):
+        dst, src = op.dst, op.src
+
+        if dst == src:
+            findings.append(Lint(
+                "alias", i,
+                f"{op}: source equals destination "
+                + ("(copy is a no-op)" if op.copy else "(accumulate zeroes the cell)"),
+            ))
+
+        # The read of src consumes every pending write to src, and
+        # observes src's value: pairs accumulating *into* src are no
+        # longer redundant (their intermediate effect was seen).
+        pending.pop(src, None)
+        was_acc.pop(src, None)
+        for key in [key for key in acc_pair if key[0] == src]:
+            del acc_pair[key]
+
+        if op.copy:
+            killed = pending.get(dst)
+            if killed:
+                if was_acc.get(dst):
+                    findings.append(Lint(
+                        "copy-clobber", i,
+                        f"{op}: copy overwrites the unread accumulation built "
+                        f"by ops {killed} (initial copy ordered after its "
+                        f"accumulates?)",
+                    ))
+                else:
+                    findings.append(Lint(
+                        "dead-write", i,
+                        f"{op}: copy overwrites the unread write of op {killed[-1]}",
+                    ))
+            pending[dst] = [i]
+            was_acc[dst] = False
+            # A copy severs any accumulate pair into dst.
+            for key in [key for key in acc_pair if key[0] == dst]:
+                del acc_pair[key]
+        else:
+            pair = (dst, src)
+            prev = acc_pair.pop(pair, None)
+            if prev is not None:
+                findings.append(Lint(
+                    "self-cancel", i,
+                    f"{op}: repeats the accumulate of op {prev} with no "
+                    f"intervening write; the pair cancels over GF(2)",
+                ))
+            else:
+                acc_pair[pair] = i
+            pending.setdefault(dst, []).append(i)
+            was_acc[dst] = True
+        # Any write to dst invalidates pairs sourcing from dst.
+        for key in [key for key in acc_pair if key[1] == dst]:
+            del acc_pair[key]
+
+    if outputs is not None:
+        wanted = set(outputs)
+        for cell, writes in sorted(pending.items()):
+            if cell not in wanted:
+                findings.append(Lint(
+                    "dead-write", writes[-1],
+                    f"final value of cell (c{cell[0]},r{cell[1]}) written by "
+                    f"ops {writes} is never read and is not an output",
+                ))
+    findings.sort(key=lambda f: f.op_index)
+    return findings

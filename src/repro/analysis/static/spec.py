@@ -1,0 +1,138 @@
+"""Parity-bit specifications: what each parity cell *must* equal.
+
+For every supported code family this module answers, from the family's
+*defining equations or generator matrix* -- never from its schedule
+builders -- the question: "which data bits does parity cell ``(col,
+row)`` XOR together?".  The symbolic prover compares a schedule's final
+state against these sets, so keeping the two derivations independent is
+what makes the comparison a proof rather than a tautology.
+
+* **Liberation** -- equations (1)-(2) of the paper via
+  :func:`repro.bitmatrix.builder.liberation_parity_cells` (the repo's
+  single source of truth for the code's definition).
+* **EVENODD** (Blaum et al. 1995) -- row parity, and diagonal parity
+  XOR the adjuster ``S`` (the parity of the missing diagonal ``p-1``).
+* **RDP** (Corbett et al. FAST'04) -- row parity, and diagonal parity
+  over data *and P* with the P member substituted by its own row
+  equation (so the spec, like ours, is expressed over data bits only).
+* **Bit-matrix codes** (Blaum-Roth, Cauchy RS) -- rows of the
+  ``2w x kw`` generator the code was constructed from.
+
+To add a family: return, for every parity cell, the ``frozenset`` of
+:func:`~repro.analysis.static.symbolic.data_atom` terms its defining
+equation XORs (see ``docs/static-analysis.md``).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.static.symbolic import Cell, Expr, data_atom
+from repro.codes.base import RAID6Code, XorScheduleCode
+from repro.codes.evenodd import EvenOddCode
+from repro.codes.liberation import LiberationCode
+from repro.codes.rdp import RDPCode
+from repro.utils.modular import Mod
+
+__all__ = ["parity_spec", "spec_xor_lower_bound"]
+
+
+def _liberation_spec(code: LiberationCode) -> dict[Cell, Expr]:
+    from repro.bitmatrix.builder import liberation_parity_cells
+
+    p_rows, q_rows = liberation_parity_cells(code.p, code.k)
+    spec: dict[Cell, Expr] = {}
+    for i, cells in enumerate(p_rows):
+        expr: Expr = frozenset()
+        for (row, col) in cells:
+            expr = expr ^ frozenset((data_atom(col, row),))
+        spec[(code.p_col, i)] = expr
+    for i, cells in enumerate(q_rows):
+        expr = frozenset()
+        for (row, col) in cells:
+            expr = expr ^ frozenset((data_atom(col, row),))
+        spec[(code.q_col, i)] = expr
+    return spec
+
+
+def _evenodd_spec(code: EvenOddCode) -> dict[Cell, Expr]:
+    p, k, mod = code.p, code.k, Mod(code.p)
+    spec: dict[Cell, Expr] = {}
+    for i in range(p - 1):
+        spec[(code.p_col, i)] = frozenset(data_atom(j, i) for j in range(k))
+    # Adjuster: the parity of the (never stored) diagonal p-1.
+    s = frozenset(
+        data_atom(j, mod(p - 1 - j)) for j in range(k) if mod(p - 1 - j) != p - 1
+    )
+    for d in range(p - 1):
+        diag = frozenset(
+            data_atom(j, mod(d - j)) for j in range(k) if mod(d - j) != p - 1
+        )
+        spec[(code.q_col, d)] = diag ^ s
+    return spec
+
+
+def _rdp_spec(code: RDPCode) -> dict[Cell, Expr]:
+    p, k, mod = code.p, code.k, Mod(code.p)
+    spec: dict[Cell, Expr] = {}
+    for i in range(p - 1):
+        spec[(code.p_col, i)] = frozenset(data_atom(j, i) for j in range(k))
+    for d in range(p - 1):
+        diag = frozenset(
+            data_atom(j, mod(d - j)) for j in range(k) if mod(d - j) != p - 1
+        )
+        # The P member of diagonal d sits at row <d+1> (P's logical
+        # position is p-1); substitute its row equation.
+        i_p = mod(d + 1)
+        if i_p != p - 1:
+            diag = diag ^ frozenset(data_atom(j, i_p) for j in range(k))
+        spec[(code.q_col, d)] = diag
+    return spec
+
+
+def _generator_spec(code: XorScheduleCode) -> dict[Cell, Expr]:
+    """Spec from a ``2w x kw`` generator bit-matrix (``code.generator``)."""
+    import numpy as np
+
+    gen = np.asarray(code.generator, dtype=np.uint8)
+    w, k = code.rows, code.k
+    if gen.shape != (2 * w, k * w):
+        raise ValueError(
+            f"{code.name}: generator shape {gen.shape} != (2*{w}, {k}*{w})"
+        )
+    spec: dict[Cell, Expr] = {}
+    for out in range(2 * w):
+        cell = (code.p_col + out // w, out % w)
+        spec[cell] = frozenset(
+            data_atom(int(c) // w, int(c) % w) for c in np.nonzero(gen[out])[0]
+        )
+    return spec
+
+
+def parity_spec(code: RAID6Code) -> dict[Cell, Expr]:
+    """Map every parity cell of ``code`` to its defining data-bit set.
+
+    Dispatches on the code family; any XOR-schedule code carrying a
+    ``generator`` bit-matrix is supported generically.
+    """
+    if isinstance(code, LiberationCode):
+        return _liberation_spec(code)
+    if isinstance(code, EvenOddCode):
+        return _evenodd_spec(code)
+    if isinstance(code, RDPCode):
+        return _rdp_spec(code)
+    if isinstance(code, XorScheduleCode) and hasattr(code, "generator"):
+        return _generator_spec(code)
+    raise TypeError(
+        f"no parity specification for {type(code).__name__} ({code.name}); "
+        "see docs/static-analysis.md for how to add one"
+    )
+
+
+def spec_xor_lower_bound(code: RAID6Code) -> int:
+    """The paper's lower bound on *encoding* XORs: ``k-1`` per parity bit.
+
+    Each of the ``2 * rows`` parity bits is the XOR of at least ``k``
+    terms (MDS over ``k`` data columns), i.e. at least ``k-1`` XOR
+    operations; common subexpressions can at best reach the bound, not
+    beat it (paper Table I / §III-B).
+    """
+    return 2 * code.rows * (code.k - 1)

@@ -1,0 +1,100 @@
+"""Structural (ordering) checks on schedules: the read/write discipline.
+
+This is the canonical home of what used to be ``repro.engine.verify``
+(which remains as a thin compatibility wrapper).  A schedule is only
+safe to run on a damaged stripe if it never *reads* a garbage-holding
+cell before *writing* it; the symbolic prover
+(:mod:`repro.analysis.static.prover`) proves the final values correct,
+and this pass proves the *order* is safe -- the two are complementary
+(two reads of the same garbage cell cancel symbolically, yet each read
+is still an ordering hazard the lints and this checker must flag).
+
+Garbage lives in two places, and the original checker only knew about
+the first:
+
+* *unreadable columns* -- erased strips, named per call;
+* *garbage cells* -- scratch/workspace cells (``RAID6Code.n_scratch``
+  columns) whose initial contents are whatever the buffer last held.
+  The EVENODD/RDP decoders stage their adjuster there with a copy
+  before any read; a reordered schedule that reads the staging cell
+  first silently consumes garbage, and the later copy must *not* be
+  treated as making those prior reads safe.  ``garbage_cols`` closes
+  that hole (see the regression tests in ``tests/engine/test_verify.py``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.engine.ops import Schedule
+from repro.engine.verify import ScheduleViolation
+
+__all__ = ["check_structure", "ScheduleViolation"]
+
+Cell = tuple[int, int]
+
+
+def check_structure(
+    schedule: Schedule,
+    *,
+    unreadable_cols: Iterable[int] = (),
+    garbage_cols: Iterable[int] = (),
+    garbage_cells: Iterable[Cell] = (),
+    required_dsts: Iterable[Cell] | None = None,
+    collect: bool = False,
+) -> list[str]:
+    """Check a schedule's read/write ordering discipline.
+
+    ``unreadable_cols`` and ``garbage_cols`` are synonymous for the
+    check (both hold garbage until written; the former names erased
+    strips, the latter scratch workspace) and are kept separate only so
+    diagnostics can say which kind of garbage was read.
+    ``garbage_cells`` adds individual cells.  ``required_dsts`` lists
+    cells the schedule must write at least once.
+
+    Raises :class:`ScheduleViolation` on the first defect, or -- with
+    ``collect=True`` -- returns every violation message instead.
+    """
+    unreadable = set(unreadable_cols)
+    scratch = set(garbage_cols)
+    garbage: set[Cell] = set(garbage_cells)
+    for col in unreadable | scratch:
+        for row in range(schedule.rows):
+            garbage.add((col, row))
+
+    problems: list[str] = []
+
+    def violation(msg: str) -> None:
+        if collect:
+            problems.append(msg)
+        else:
+            raise ScheduleViolation(msg)
+
+    def kind(cell: Cell) -> str:
+        if cell[0] in unreadable:
+            return f"unreadable column {cell[0]}"
+        if cell[0] in scratch:
+            return f"garbage (scratch) column {cell[0]}"
+        return "garbage cell"
+
+    written: set[Cell] = set()
+    for i, op in enumerate(schedule):
+        if op.src in garbage and op.src not in written:
+            violation(
+                f"op {i} ({op}) reads unwritten cell {op.src} of {kind(op.src)}"
+            )
+        if not op.copy and op.dst in garbage and op.dst not in written:
+            violation(
+                f"op {i} ({op}) accumulates into unwritten cell {op.dst} "
+                f"of {kind(op.dst)}"
+            )
+        written.add(op.dst)
+
+    if required_dsts is not None:
+        missing = set(required_dsts) - written
+        if missing:
+            violation(
+                f"schedule never writes {len(missing)} required cells, "
+                f"e.g. {sorted(missing)[:4]}"
+            )
+    return problems

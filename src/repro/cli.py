@@ -33,6 +33,15 @@ And the deterministic simulation / differential-fuzzing harness
     python -m repro.cli sim fuzz --seed 7 --duration 600      # hunt divergences
     python -m repro.cli sim replay repro-1234.json            # re-run a repro
     python -m repro.cli sim run --seed 42                     # one scenario
+
+And the static analyzer (:mod:`repro.analysis.static`) -- symbolic
+correctness proofs for every schedule, the XOR-optimality audit against
+the paper's ``k-1`` bound, and the project sim-seam AST lint:
+
+::
+
+    python -m repro.cli analyze --all-families --p 5,7,11,13
+    python -m repro.cli analyze --families liberation-optimal --json report.json
 """
 
 from __future__ import annotations
@@ -288,6 +297,58 @@ def cmd_stats(args) -> int:
     return asyncio.run(run())
 
 
+def _parse_int_list(spec: str) -> list[int]:
+    try:
+        return [int(tok) for tok in spec.split(",") if tok.strip()]
+    except ValueError:
+        raise SystemExit(f"error: {spec!r} is not a comma-separated integer list")
+
+
+def cmd_analyze(args) -> int:
+    from repro.analysis.static import lint_project, run_analysis
+    from repro.analysis.static.audit import default_families
+    from repro.bench.report import format_table
+
+    if args.families:
+        families = [tok.strip() for tok in args.families.split(",") if tok.strip()]
+    else:
+        families = list(default_families())
+    primes = _parse_int_list(args.p)
+    ks = _parse_int_list(args.k) if args.k else None
+
+    def progress(what: str) -> None:
+        if args.verbose:
+            print(f"  proving {what}...", flush=True)
+
+    report = run_analysis(families, primes, ks=ks, on_progress=progress)
+    print(format_table(
+        report.summary_rows(),
+        title=f"static analysis: {report.n_proofs} schedules proved over "
+              f"p in {{{args.p}}}",
+    ))
+    for failure in report.failures():
+        print(f"FAIL: {failure}")
+
+    ast_findings = [] if args.no_ast_lint else lint_project()
+    for finding in ast_findings:
+        print(f"AST: {finding}")
+
+    if args.json:
+        payload = report.to_dict()
+        payload["ast_lint"] = [str(f) for f in ast_findings]
+        pathlib.Path(args.json).write_text(json.dumps(payload, indent=2))
+        print(f"report written to {args.json}")
+
+    ok = report.ok and not ast_findings
+    print(
+        "analysis clean: every schedule proved correct, no lints"
+        if ok
+        else f"analysis FAILED: {len(report.failures())} schedule finding(s), "
+             f"{len(ast_findings)} AST finding(s)"
+    )
+    return 0 if ok else 1
+
+
 def cmd_sim_fuzz(args) -> int:
     from repro.sim.differential import fuzz
 
@@ -392,6 +453,26 @@ def build_parser() -> argparse.ArgumentParser:
     st.add_argument("--shutdown", action="store_true",
                     help="ask each node to shut down after reporting")
     st.set_defaults(func=cmd_stats)
+
+    an = sub.add_parser(
+        "analyze",
+        help="symbolically prove every schedule correct and audit XOR optimality",
+    )
+    an.add_argument("--families", default=None,
+                    help="comma-separated families (default: all schedule-based)")
+    an.add_argument("--all-families", action="store_true",
+                    help="explicit spelling of the default family set")
+    an.add_argument("--p", default="5,7,11,13",
+                    help="comma-separated primes (default 5,7,11,13)")
+    an.add_argument("--k", default=None,
+                    help="comma-separated k values (default: every valid k)")
+    an.add_argument("--json", default=None,
+                    help="write the machine-readable report to this path")
+    an.add_argument("--no-ast-lint", action="store_true",
+                    help="skip the project sim-seam AST lint")
+    an.add_argument("--verbose", action="store_true",
+                    help="print each geometry as it is proved")
+    an.set_defaults(func=cmd_analyze)
 
     sim = sub.add_parser("sim", help="deterministic simulation / fuzzing")
     sim_sub = sim.add_subparsers(dest="sim_command", required=True)

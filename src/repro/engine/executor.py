@@ -174,13 +174,24 @@ class CompiledSchedule:
         return buf
 
 
-def compile_schedule(schedule: Schedule, *, batched: bool = False) -> CompiledSchedule:
+def compile_schedule(
+    schedule: Schedule, *, batched: bool = False, validate: bool = False
+) -> CompiledSchedule:
     """Fuse a schedule into gather/reduce groups (see module docstring).
 
     ``batched`` selects the levelized one-call-per-level execution of
     :class:`CompiledSchedule` instead of the per-group default; both
     strategies are semantically identical (the differential fuzzer in
     :mod:`repro.sim` holds them to that).
+
+    ``validate`` additionally *proves* the lowering correct: the fused
+    group program (and, when ``batched``, the levelized batches) is
+    symbolically executed and its final state compared cell-for-cell
+    against the source schedule's -- a fusion or levelization bug
+    raises :class:`~repro.engine.verify.ScheduleViolation` at compile
+    time instead of surfacing as corrupt data.  Debug/fuzzing aid; adds
+    interpretation cost proportional to schedule length, so leave it
+    off on hot paths.
 
     Hazard rules enforced during the single program-order pass:
 
@@ -239,7 +250,57 @@ def compile_schedule(schedule: Schedule, *, batched: bool = False) -> CompiledSc
 
     for dst in tuple(open_groups):
         flush(dst)
-    return CompiledSchedule(schedule.cols, schedule.rows, order, batched=batched)
+    compiled = CompiledSchedule(schedule.cols, schedule.rows, order, batched=batched)
+    if validate:
+        _validate_compilation(schedule, compiled)
+    return compiled
+
+
+def _validate_compilation(schedule: Schedule, compiled: CompiledSchedule) -> None:
+    """Symbolically prove ``compiled`` equivalent to ``schedule``.
+
+    Both programs are interpreted over a pristine symbolic stripe (every
+    cell its own atom) and their complete final states compared; any
+    differing cell is a lowering bug.
+    """
+    # Imported lazily: the static-analysis package imports the code
+    # families, which import repro.engine -- a module-level import here
+    # would close that cycle during package initialisation.
+    from repro.analysis.static.symbolic import (
+        format_expr,
+        symbolic_execute,
+        symbolic_execute_groups,
+    )
+    from repro.engine.verify import ScheduleViolation
+
+    want = symbolic_execute(schedule)
+
+    programs: list[tuple[str, list[tuple[int, np.ndarray, bool]]]] = [
+        ("fused", compiled._groups)
+    ]
+    if compiled._batches is not None:
+        # Within a level no group reads another's destination, so
+        # sequential interpretation of the batch members is equivalent
+        # to the gather-then-scatter execution.
+        programs.append(
+            (
+                "batched",
+                [
+                    (int(dsts[g]), srcs[g], init_copy)
+                    for init_copy, dsts, srcs in compiled._batches
+                    for g in range(dsts.size)
+                ],
+            )
+        )
+    for label, groups in programs:
+        got = symbolic_execute_groups(schedule.cols, schedule.rows, groups)
+        for cell in sorted(want):
+            if got[cell] != want[cell]:
+                raise ScheduleViolation(
+                    f"{label} lowering diverges at cell (c{cell[0]},r{cell[1]}): "
+                    f"schedule computes {format_expr(want[cell])}, "
+                    f"compiled computes {format_expr(got[cell])}"
+                )
 
 
 class StreamingSchedule:

@@ -58,11 +58,15 @@ class XorOp:
         """1 for an accumulate, 0 for a copy (the paper's accounting)."""
         return 0 if self.copy else 1
 
-    def __str__(self) -> str:  # pragma: no cover - debugging aid
+    def __str__(self) -> str:
+        # Labelled so the rendering can never be misread: the old
+        # ``b[row,col]`` form printed indices in the opposite order to
+        # the (dst_col, dst_row, ...) constructor and the (col, row)
+        # cell tuples used everywhere else.
         op = "<-" if self.copy else "^="
         return (
-            f"b[{self.dst_row},{self.dst_col}] {op} "
-            f"b[{self.src_row},{self.src_col}]"
+            f"b[c{self.dst_col},r{self.dst_row}] {op} "
+            f"b[c{self.src_col},r{self.src_row}]"
         )
 
 

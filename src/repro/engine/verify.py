@@ -1,11 +1,23 @@
-"""Static schedule verification.
+"""Static schedule verification (compatibility wrapper).
 
-A decode schedule is only correct if it never *reads* an erased cell
-before *writing* it (erased strips hold garbage), and only useful if it
-writes everything it promised.  :func:`verify_schedule` checks those
-structural properties without executing anything; the code classes'
-builders are all validated through it in the test suite, and downstream
-users writing custom schedule generators get the same safety net.
+The structural checker grew into the static-analysis package --
+:func:`repro.analysis.static.structural.check_structure` is the
+canonical implementation (ordering discipline over erased *and* scratch
+garbage), and :mod:`repro.analysis.static.prover` adds full symbolic
+proofs of functional correctness on top.  :func:`verify_schedule` is
+kept here, signature-compatible plus a ``garbage_cols`` extension, for
+the many call sites and downstream schedule generators that grew up
+against it.
+
+``garbage_cols`` names columns that are not erased but still hold
+garbage until first written -- the scratch workspace columns some
+decoders stage intermediates in (``RAID6Code.n_scratch``).  Without it
+a reordered schedule that reads a scratch staging cell *before* the
+copy that initialises it passes the check while silently consuming
+garbage; declaring the scratch column makes the read-before-write
+ordering violation visible.  Decode-schedule verification should pass
+``unreadable_cols=erasures`` and ``garbage_cols=range(code.n_cols,
+code.total_cols)``.
 """
 
 from __future__ import annotations
@@ -25,38 +37,29 @@ def verify_schedule(
     schedule: Schedule,
     *,
     unreadable_cols: Iterable[int] = (),
+    garbage_cols: Iterable[int] = (),
     required_dsts: Iterable[tuple[int, int]] | None = None,
 ) -> None:
     """Statically check a schedule's read/write discipline.
 
     ``unreadable_cols``: columns whose initial contents are garbage
-    (the erasure pattern for a decode schedule).  Any read of such a
-    cell must be preceded by a write to it.
-
-    ``required_dsts``: cells the schedule must write at least once
-    (e.g. every cell of every erased column).
+    (the erasure pattern for a decode schedule).  ``garbage_cols``:
+    scratch columns, equally garbage until written.  Any read of such a
+    cell must be preceded by a write to it.  ``required_dsts``: cells
+    the schedule must write at least once (e.g. every cell of every
+    erased column).
 
     Raises :class:`ScheduleViolation` with op index/context on failure;
     returns ``None`` when clean.
     """
-    unreadable = set(unreadable_cols)
-    written: set[tuple[int, int]] = set()
-    for i, op in enumerate(schedule):
-        if op.src_col in unreadable and op.src not in written:
-            raise ScheduleViolation(
-                f"op {i} ({op}) reads unwritten cell {op.src} of "
-                f"unreadable column {op.src_col}"
-            )
-        if not op.copy and op.dst_col in unreadable and op.dst not in written:
-            raise ScheduleViolation(
-                f"op {i} ({op}) accumulates into unwritten cell {op.dst} "
-                f"of unreadable column {op.dst_col}"
-            )
-        written.add(op.dst)
-    if required_dsts is not None:
-        missing = set(required_dsts) - written
-        if missing:
-            raise ScheduleViolation(
-                f"schedule never writes {len(missing)} required cells, "
-                f"e.g. {sorted(missing)[:4]}"
-            )
+    # Imported lazily: repro.analysis.static imports the code families,
+    # which import repro.engine -- a module-level import here would
+    # close that cycle during package initialisation.
+    from repro.analysis.static.structural import check_structure
+
+    check_structure(
+        schedule,
+        unreadable_cols=unreadable_cols,
+        garbage_cols=garbage_cols,
+        required_dsts=required_dsts,
+    )

@@ -121,9 +121,13 @@ def _check_executors(sched, buf_ref: np.ndarray, what: str, case: StripeCase) ->
     taken as the candidate baseline and every other strategy -- the
     levelized batch mode, the streaming op-at-a-time engine, and the
     bit-level reference on each of two probe bit-planes -- must match.
+
+    Both compiles run with ``validate=True``, so the lowering is also
+    *symbolically* proved equivalent to the source schedule -- a fusion
+    bug is caught even on inputs whose values happen to mask it.
     """
-    fused = compile_schedule(sched).run(buf_ref.copy())
-    batched = compile_schedule(sched, batched=True).run(buf_ref.copy())
+    fused = compile_schedule(sched, validate=True).run(buf_ref.copy())
+    batched = compile_schedule(sched, batched=True, validate=True).run(buf_ref.copy())
     if not np.array_equal(fused, batched):
         _diverge(f"{what}: fused-vs-levelized executor", case, fused, batched)
     streaming = StreamingSchedule(sched).run(buf_ref.copy())

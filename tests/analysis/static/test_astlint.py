@@ -1,0 +1,89 @@
+"""Tests for the sim-seam AST lint."""
+
+from pathlib import Path
+
+from repro.analysis.static.astlint import lint_project, lint_source
+
+
+def symbols(findings):
+    return [f.symbol for f in findings]
+
+
+class TestClockCalls:
+    def test_direct_call(self):
+        fs = lint_source("import time\ntime.sleep(1)\n", "m.py")
+        assert symbols(fs) == ["time.sleep"]
+
+    def test_module_alias(self):
+        fs = lint_source("import time as t\nt.monotonic()\n", "m.py")
+        assert symbols(fs) == ["time.monotonic"]
+
+    def test_function_alias(self):
+        fs = lint_source(
+            "from time import perf_counter as pc\npc()\n", "m.py"
+        )
+        assert symbols(fs) == ["time.perf_counter"]
+
+    def test_ns_variants(self):
+        fs = lint_source("import time\ntime.time_ns()\n", "m.py")
+        assert symbols(fs) == ["time.time_ns"]
+
+    def test_unrelated_time_attr_ok(self):
+        assert lint_source("import time\nx = time.struct_time\n", "m.py") == []
+
+
+class TestRandomCalls:
+    def test_global_generator_flagged(self):
+        fs = lint_source("import random\nrandom.randint(0, 9)\n", "m.py")
+        assert symbols(fs) == ["random.randint"]
+
+    def test_from_import_flagged(self):
+        fs = lint_source("from random import shuffle\nshuffle(x)\n", "m.py")
+        assert symbols(fs) == ["random.shuffle"]
+
+    def test_seeded_instance_ok(self):
+        assert lint_source(
+            "import random\nrng = random.Random(42)\n", "m.py"
+        ) == []
+
+    def test_unseeded_instance_flagged(self):
+        fs = lint_source("import random\nrng = random.Random()\n", "m.py")
+        assert symbols(fs) == ["random.Random"]
+
+
+class TestNumpyRandom:
+    def test_seeded_default_rng_ok(self):
+        assert lint_source(
+            "import numpy as np\nrng = np.random.default_rng(0)\n", "m.py"
+        ) == []
+
+    def test_unseeded_default_rng_flagged(self):
+        fs = lint_source(
+            "import numpy as np\nrng = np.random.default_rng()\n", "m.py"
+        )
+        assert len(fs) == 1 and "unseeded" in fs[0].message
+
+    def test_legacy_global_flagged(self):
+        fs = lint_source("import numpy as np\nnp.random.rand(3)\n", "m.py")
+        assert len(fs) == 1 and "legacy" in fs[0].message
+
+
+class TestProjectWalk:
+    def test_repro_package_is_clean(self):
+        assert lint_project() == []
+
+    def test_seams_are_skipped(self, tmp_path: Path):
+        (tmp_path / "sim").mkdir()
+        (tmp_path / "sim" / "clock.py").write_text("import time\ntime.time()\n")
+        (tmp_path / "core.py").write_text("import time\ntime.time()\n")
+        fs = lint_project(tmp_path)
+        assert [f.path for f in fs] == ["core.py"]
+
+    def test_syntax_error_is_a_finding(self, tmp_path: Path):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        fs = lint_project(tmp_path)
+        assert len(fs) == 1 and fs[0].symbol == "syntax"
+
+    def test_finding_str_is_location_first(self):
+        fs = lint_source("import time\ntime.sleep(1)\n", "pkg/mod.py")
+        assert str(fs[0]).startswith("pkg/mod.py:2:")

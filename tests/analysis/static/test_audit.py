@@ -1,0 +1,94 @@
+"""Tests for the optimality auditor and analysis report."""
+
+import json
+
+import pytest
+
+from repro.analysis.static import audit
+from repro.analysis.static.audit import (
+    AnalysisReport,
+    analyze_geometry,
+    default_families,
+    family_ks,
+    make_family_code,
+    run_analysis,
+)
+
+
+class TestGeometry:
+    def test_liberation_optimal_meets_bound(self):
+        r = analyze_geometry("liberation-optimal", 5, 4)
+        assert r["ok"], r["failures"]
+        assert r["encode"]["optimal"] and r["encode"]["gap"] == 0
+        assert r["encode"]["per_bit"] == pytest.approx(3.0)  # k-1
+        assert len(r["decode"]) == 6 + 15  # singles + pairs over k+2=6
+
+    def test_evenodd_has_gap_but_proves(self):
+        r = analyze_geometry("evenodd", 5, 4)
+        assert r["ok"]
+        assert not r["encode"]["optimal"] and r["encode"]["gap"] > 0
+
+    def test_json_serialisable(self):
+        r = analyze_geometry("rdp", 5, 3)
+        json.dumps(r)  # must not raise
+
+    def test_optimality_gate(self, monkeypatch):
+        # If a family claimed optimal misses the bound, the geometry
+        # fails even though every proof passes.
+        monkeypatch.setattr(
+            audit, "OPTIMAL_FAMILIES", frozenset({"evenodd"})
+        )
+        r = analyze_geometry("evenodd", 5, 4)
+        assert not r["ok"]
+        assert any("exceeds the k-1 bound" in f for f in r["failures"])
+
+
+class TestFamilies:
+    def test_default_families_are_constructible(self):
+        for fam in default_families():
+            code = make_family_code(fam, 3, 5)
+            assert code.k == 3
+
+    def test_family_ks_respects_geometry(self):
+        assert list(family_ks("liberation-optimal", 5)) == [2, 3, 4, 5]
+        assert list(family_ks("rdp", 5)) == [2, 3, 4]
+        assert list(family_ks("blaum-roth", 5)) == [2, 3, 4]
+
+    def test_non_schedule_family_rejected(self):
+        with pytest.raises(TypeError, match="not schedule-based"):
+            make_family_code("reed-solomon", 4, 5)
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def report(self) -> AnalysisReport:
+        return run_analysis(
+            ["liberation-optimal", "evenodd"], primes=(5,), ks=(2, 4)
+        )
+
+    def test_gate_passes(self, report):
+        assert report.ok and report.failures() == []
+
+    def test_geometry_count(self, report):
+        # two families x p=5 x k in {2, 4}
+        assert len(report.results) == 4
+        assert report.n_proofs == sum(1 + len(r["decode"]) for r in report.results)
+
+    def test_summary_rows_aggregate(self, report):
+        rows = report.summary_rows()
+        assert len(rows) == 2
+        lib = next(r for r in rows if r["family"] == "liberation-optimal")
+        assert lib["geometries"] == 2 and lib["encode_optimal"]
+        eo = next(r for r in rows if r["family"] == "evenodd")
+        assert not eo["encode_optimal"] and eo["encode_gap_max"] > 0
+
+    def test_to_dict_shape(self, report):
+        d = report.to_dict()
+        json.dumps(d)
+        assert d["ok"] and d["n_geometries"] == 4
+        assert d["primes"] == [5]
+
+    def test_ks_filter_skips_invalid(self):
+        # k=6 is invalid everywhere at p=5 and must be skipped silently.
+        rep = run_analysis(["rdp"], primes=(5,), ks=(3, 6))
+        assert [r["k"] for r in rep.results] == [3]

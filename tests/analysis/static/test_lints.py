@@ -1,0 +1,123 @@
+"""Tests for the IR data-flow lints."""
+
+import itertools
+
+import pytest
+
+from repro.analysis.static.lints import lint_schedule
+from repro.codes import make_code
+from repro.engine.ops import Schedule, XorOp
+
+
+def codes_of(findings):
+    return [f.code for f in findings]
+
+
+class TestAlias:
+    def test_self_copy_flagged(self):
+        s = Schedule(2, 1, [XorOp(1, 0, 1, 0, copy=True)])
+        assert codes_of(lint_schedule(s)) == ["alias"]
+
+    def test_self_accumulate_flagged(self):
+        s = Schedule(2, 1, [XorOp(1, 0, 1, 0, copy=False)])
+        findings = lint_schedule(s)
+        assert codes_of(findings) == ["alias"]
+        assert "zeroes" in findings[0].message
+
+
+class TestDeadWrite:
+    def test_copy_over_unread_copy(self):
+        s = Schedule(3, 1)
+        s.copy_cell((2, 0), (0, 0))
+        s.copy_cell((2, 0), (1, 0))  # kills the first copy unread
+        findings = lint_schedule(s)
+        assert codes_of(findings) == ["dead-write"]
+        assert findings[0].op_index == 1
+
+    def test_read_between_writes_is_live(self):
+        s = Schedule(3, 2)
+        s.copy_cell((2, 0), (0, 0))
+        s.copy_cell((2, 1), (2, 0))  # reads the first write
+        s.copy_cell((2, 0), (1, 0))
+        assert lint_schedule(s) == []
+
+    def test_final_unread_non_output_flagged(self):
+        s = Schedule(3, 1)
+        s.copy_cell((1, 0), (0, 0))  # the output
+        s.copy_cell((2, 0), (0, 0))  # scratch value nobody reads
+        findings = lint_schedule(s, outputs=[(1, 0)])
+        assert codes_of(findings) == ["dead-write"]
+
+    def test_final_unread_output_is_fine(self):
+        s = Schedule(3, 1)
+        s.copy_cell((1, 0), (0, 0))
+        assert lint_schedule(s, outputs=[(1, 0)]) == []
+
+
+class TestCopyClobber:
+    def test_copy_after_accumulate_chain(self):
+        # The classic generator bug: the initial copy emitted after the
+        # accumulates it should have preceded.
+        s = Schedule(4, 1)
+        s.copy_cell((3, 0), (0, 0))
+        s.accumulate((3, 0), (1, 0))
+        s.copy_cell((3, 0), (2, 0))  # clobbers the built-up parity
+        findings = lint_schedule(s)
+        assert codes_of(findings) == ["copy-clobber"]
+        assert findings[0].op_index == 2
+
+    def test_consumed_accumulation_not_flagged(self):
+        s = Schedule(4, 2)
+        s.copy_cell((3, 0), (0, 0))
+        s.accumulate((3, 0), (1, 0))
+        s.copy_cell((3, 1), (3, 0))  # accumulation is read here
+        s.copy_cell((3, 0), (2, 0))  # then overwriting it is fine
+        assert lint_schedule(s) == []
+
+
+class TestSelfCancel:
+    def test_repeat_accumulate_flagged(self):
+        s = Schedule(3, 1)
+        s.copy_cell((2, 0), (0, 0))
+        s.accumulate((2, 0), (1, 0))
+        s.accumulate((2, 0), (1, 0))  # cancels the previous op
+        findings = lint_schedule(s)
+        assert codes_of(findings) == ["self-cancel"]
+
+    def test_source_rewritten_between_is_legit(self):
+        # In-place syndrome updates accumulate the same (dst, src) pair
+        # twice with src changed in between -- not redundant.
+        s = Schedule(3, 1)
+        s.copy_cell((2, 0), (0, 0))
+        s.accumulate((2, 0), (1, 0))
+        s.copy_cell((1, 0), (0, 0))  # src changes
+        s.accumulate((2, 0), (1, 0))
+        assert lint_schedule(s) == []
+
+    def test_observed_intermediate_is_legit(self):
+        s = Schedule(4, 1)
+        s.copy_cell((2, 0), (0, 0))
+        s.accumulate((2, 0), (1, 0))
+        s.copy_cell((3, 0), (2, 0))  # intermediate value observed
+        s.accumulate((2, 0), (1, 0))
+        assert lint_schedule(s) == []
+
+
+class TestRealSchedulesAreClean:
+    @pytest.mark.parametrize("name,k,p", [
+        ("liberation-optimal", 4, 5),
+        ("liberation-original", 4, 5),
+        ("evenodd", 6, 7),
+        ("rdp", 5, 7),
+        ("blaum-roth", 4, 5),
+    ])
+    def test_no_findings_on_any_schedule(self, name, k, p):
+        code = make_code(name, k, p=p)
+        outputs = {
+            (c, r) for c in (code.p_col, code.q_col) for r in range(code.rows)
+        }
+        assert lint_schedule(code.build_encode_schedule(), outputs=outputs) == []
+        for pat in itertools.combinations(range(code.n_cols), 2):
+            outs = {(c, r) for c in pat for r in range(code.rows)}
+            sched = code.build_decode_schedule(pat)
+            assert lint_schedule(sched, outputs=outs) == [], (name, pat)

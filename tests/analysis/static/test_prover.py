@@ -1,0 +1,135 @@
+"""Tests for the symbolic correctness prover."""
+
+import itertools
+
+import pytest
+
+from repro.analysis.static.prover import (
+    erasure_patterns,
+    prove_code,
+    prove_decode,
+    prove_encode,
+)
+from repro.codes import make_code
+from repro.engine.ops import Schedule, XorOp
+
+
+def _mutate(sched: Schedule, drop=None, insert=None) -> Schedule:
+    ops = list(sched)
+    if drop is not None:
+        ops.pop(drop)
+    if insert is not None:
+        idx, op = insert
+        ops.insert(idx, op)
+    return Schedule(sched.cols, sched.rows, ops)
+
+
+class TestProveEncode:
+    @pytest.mark.parametrize("name,k,p", [
+        ("liberation-optimal", 4, 5),
+        ("liberation-original", 4, 5),
+        ("evenodd", 4, 5),
+        ("rdp", 4, 5),
+        ("blaum-roth", 4, 5),
+        ("cauchy-rs", 4, None),
+    ])
+    def test_real_encodes_prove(self, name, k, p):
+        code = make_code(name, k, **({} if p is None else {"p": p}))
+        proof = prove_encode(code)
+        assert proof.ok, proof.failures
+        assert proof.kind == "encode" and proof.n_xors == code.encoding_xors()
+
+    def test_every_drop_is_caught(self):
+        # Dropping *any* single op from a correct encode schedule must
+        # break the proof: copies are load-bearing (later accumulates
+        # consume garbage) and every accumulate contributes a term.
+        code = make_code("liberation-optimal", 4, p=5)
+        sched = code.build_encode_schedule()
+        for i in range(len(sched)):
+            proof = prove_encode(code, _mutate(sched, drop=i))
+            assert not proof.ok, f"dropping op {i} went undetected"
+
+    def test_write_to_data_column_is_caught(self):
+        code = make_code("liberation-optimal", 4, p=5)
+        sched = _mutate(
+            code.build_encode_schedule(),
+            insert=(0, XorOp(0, 0, 1, 0, copy=False)),
+        )
+        proof = prove_encode(code, sched)
+        assert any("writes data cell" in f for f in proof.failures)
+
+    def test_spurious_term_is_caught(self):
+        code = make_code("liberation-optimal", 4, p=5)
+        sched = code.build_encode_schedule()
+        bad = _mutate(
+            sched, insert=(len(sched), XorOp(code.p_col, 0, 0, 1, copy=False))
+        )
+        proof = prove_encode(code, bad)
+        assert any("spurious" in f for f in proof.failures)
+
+
+class TestProveDecode:
+    @pytest.mark.parametrize("name,k,p", [
+        ("liberation-optimal", 4, 5),
+        ("evenodd", 4, 5),
+        ("rdp", 4, 5),
+        ("blaum-roth", 4, 5),
+    ])
+    def test_all_patterns_prove(self, name, k, p):
+        code = make_code(name, k, p=p)
+        for pat in erasure_patterns(code.n_cols):
+            proof = prove_decode(code, pat)
+            assert proof.ok, (pat, proof.failures)
+
+    def test_two_data_drop_is_caught(self):
+        code = make_code("liberation-optimal", 4, p=5)
+        sched = code.build_decode_schedule((0, 2))
+        for i in range(len(sched)):
+            proof = prove_decode(code, (0, 2), _mutate(sched, drop=i))
+            assert not proof.ok, f"dropping op {i} went undetected"
+
+    def test_wrong_pattern_schedule_fails(self):
+        # Proving a (0,1) schedule against the (0,2) obligation fails.
+        code = make_code("liberation-optimal", 4, p=5)
+        sched = code.build_decode_schedule((0, 1))
+        proof = prove_decode(code, (0, 2), sched)
+        assert not proof.ok
+
+    def test_write_to_survivor_is_caught(self):
+        code = make_code("liberation-optimal", 4, p=5)
+        sched = code.build_decode_schedule((0, 1))
+        bad = _mutate(sched, insert=(len(sched), XorOp(3, 0, 2, 0, copy=False)))
+        proof = prove_decode(code, (0, 1), bad)
+        assert any("surviving column" in f for f in proof.failures)
+
+
+class TestProveCode:
+    def test_prove_code_covers_encode_and_all_patterns(self):
+        code = make_code("evenodd", 3, p=5)
+        proofs = prove_code(code)
+        n_pats = len(erasure_patterns(code.n_cols))
+        assert len(proofs) == 1 + n_pats
+        assert all(pr.ok for pr in proofs)
+        assert proofs[0].kind == "encode"
+
+    def test_proof_to_dict_round_trip(self):
+        import json
+
+        code = make_code("rdp", 3, p=5)
+        proof = prove_decode(code, (0, 1))
+        blob = json.dumps(proof.to_dict())
+        back = json.loads(blob)
+        assert back["ok"] and back["erasures"] == [0, 1]
+        assert "decode" in str(proof)
+
+
+class TestErasurePatterns:
+    def test_counts(self):
+        pats = erasure_patterns(6)
+        assert len(pats) == 6 + 15
+        assert all(len(pat) in (1, 2) for pat in pats)
+        assert len(set(pats)) == len(pats)
+
+    def test_all_pairs_present(self):
+        pats = set(erasure_patterns(4))
+        assert set(itertools.combinations(range(4), 2)) <= pats

@@ -1,0 +1,86 @@
+"""Tests for the parity specifications.
+
+The decisive check: a spec is correct iff setting exactly one data bit
+and encoding (with the family's own, independently-tested encoder)
+raises exactly the parity bits whose spec contains that data atom.
+This compares the spec's *defining-equation* derivation against the
+schedule path end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.static.spec import parity_spec, spec_xor_lower_bound
+from repro.analysis.static.symbolic import data_atom
+from repro.codes import make_code
+
+FAMILIES = [
+    ("liberation-optimal", 4, 5),
+    ("liberation-original", 4, 5),
+    ("liberation-optimal", 6, 7),
+    ("evenodd", 4, 5),
+    ("evenodd", 6, 7),
+    ("rdp", 4, 5),
+    ("rdp", 5, 7),
+    ("blaum-roth", 4, 5),
+    ("cauchy-rs", 4, None),
+]
+
+
+def _build(name, k, p):
+    kw = {} if p is None else {"p": p}
+    return make_code(name, k, **kw)
+
+
+@pytest.mark.parametrize("name,k,p", FAMILIES)
+def test_spec_matches_unit_vector_encodes(name, k, p):
+    code = _build(name, k, p)
+    spec = parity_spec(code)
+
+    # Every parity cell must have a spec, and nothing else.
+    assert set(spec) == {
+        (c, r) for c in (code.p_col, code.q_col) for r in range(code.rows)
+    }
+
+    for col in range(code.k):
+        for row in range(code.rows):
+            bits = np.zeros((code.total_cols, code.rows), dtype=np.uint8)
+            bits[col, row] = 1
+            code.encode_bits(bits)
+            atom = data_atom(col, row)
+            for cell, members in spec.items():
+                assert bool(bits[cell]) == (atom in members), (
+                    f"{name}: data bit (c{col},r{row}) vs parity cell {cell}"
+                )
+
+
+@pytest.mark.parametrize("name,k,p", FAMILIES)
+def test_spec_is_mds_shaped(name, k, p):
+    # Every parity bit must depend on at least one bit of every data
+    # column (otherwise losing that column plus the other parity column
+    # could be unrecoverable) -- true for all the families here.
+    code = _build(name, k, p)
+    for cell, members in parity_spec(code).items():
+        cols = {c for _tag, c, _r in members}
+        assert cols == set(range(code.k)), f"{name}: {cell} misses columns"
+
+
+class TestLowerBound:
+    def test_bound_value(self):
+        code = make_code("liberation-optimal", 4, p=5)
+        assert spec_xor_lower_bound(code) == 2 * 5 * 3
+
+    def test_liberation_optimal_meets_bound(self):
+        for p in (5, 7):
+            for k in range(2, p + 1):
+                code = make_code("liberation-optimal", k, p=p)
+                assert code.encoding_xors() == spec_xor_lower_bound(code)
+
+    def test_original_exceeds_bound(self):
+        code = make_code("liberation-original", 4, p=5)
+        assert code.encoding_xors() > spec_xor_lower_bound(code)
+
+    def test_unsupported_code_raises(self):
+        code = make_code("reed-solomon", 4)
+        with pytest.raises(TypeError, match="no parity specification"):
+            parity_spec(code)

@@ -168,3 +168,55 @@ class TestCompiledProperties:
         s.copy_cell((2, 0), (0, 0))
         s.accumulate((2, 0), (1, 0))
         assert StreamingSchedule(s).n_ops == 2
+
+
+class TestCompileValidation:
+    """compile_schedule(validate=True): the lowering is symbolically
+    proved equivalent to the source schedule at compile time."""
+
+    def _real_schedules(self):
+        from repro.codes import make_code
+
+        for name in ("liberation-optimal", "evenodd", "rdp"):
+            code = make_code(name, 4, p=5)
+            yield code.build_encode_schedule()
+            yield code.build_decode_schedule((0, 1))
+            yield code.build_decode_schedule((1, code.q_col))
+
+    def test_real_schedules_validate(self):
+        for sched in self._real_schedules():
+            compile_schedule(sched, validate=True)
+            compile_schedule(sched, batched=True, validate=True)
+
+    def test_planted_lowering_bug_is_caught(self):
+        from repro.codes import make_code
+        from repro.engine.executor import CompiledSchedule, _validate_compilation
+        from repro.engine.verify import ScheduleViolation
+
+        sched = make_code("liberation-optimal", 4, p=5).build_encode_schedule()
+        good = compile_schedule(sched)
+        # Corrupt one fused group: drop its last source term.
+        dst, srcs, init = good._groups[0]
+        bad = CompiledSchedule.__new__(CompiledSchedule)
+        bad.cols, bad.rows = good.cols, good.rows
+        bad.batched, bad._batches = False, None
+        bad._groups = [(dst, srcs[:-1], init)] + good._groups[1:]
+        with pytest.raises(ScheduleViolation, match="lowering diverges"):
+            _validate_compilation(sched, bad)
+
+    def test_wrong_group_order_is_caught(self):
+        from repro.engine.executor import CompiledSchedule, _validate_compilation
+        from repro.engine.verify import ScheduleViolation
+
+        # dst2 copies dst1's accumulated value, so group order matters.
+        s = Schedule(4, 1)
+        s.copy_cell((2, 0), (0, 0))
+        s.accumulate((2, 0), (1, 0))
+        s.copy_cell((3, 0), (2, 0))
+        good = compile_schedule(s, validate=True)
+        bad = CompiledSchedule.__new__(CompiledSchedule)
+        bad.cols, bad.rows = good.cols, good.rows
+        bad.batched, bad._batches = False, None
+        bad._groups = list(reversed(good._groups))
+        with pytest.raises(ScheduleViolation, match="lowering diverges"):
+            _validate_compilation(s, bad)

@@ -16,6 +16,19 @@ class TestXorOp:
         assert op.dst == (2, 3)
         assert op.src == (4, 5)
 
+    def test_str_labels_cols_and_rows(self):
+        # The rendering must agree with the constructor's
+        # (dst_col, dst_row, src_col, src_row) order; an earlier
+        # unlabelled form printed row,col and was read as col,row.
+        assert str(XorOp(2, 3, 4, 5, copy=True)) == "b[c2,r3] <- b[c4,r5]"
+        assert str(XorOp(2, 3, 4, 5, copy=False)) == "b[c2,r3] ^= b[c4,r5]"
+
+    def test_str_roundtrips_cell_accessors(self):
+        op = XorOp(7, 1, 0, 6)
+        rendered = str(op)
+        assert f"c{op.dst[0]},r{op.dst[1]}" in rendered.split("^=")[0]
+        assert f"c{op.src[0]},r{op.src[1]}" in rendered.split("^=")[1]
+
 
 class TestScheduleConstruction:
     def test_empty(self):

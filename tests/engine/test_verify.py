@@ -66,12 +66,18 @@ class TestAgainstRealCodes:
 
         kw = {} if p is None else {"p": p}
         code = make_code(name, k, **kw)
+        scratch = range(code.n_cols, code.total_cols)
         for pat in [(c,) for c in range(k + 2)] + list(
             itertools.combinations(range(k + 2), 2)
         ):
             sched = code.build_decode_schedule(pat)
             required = {(c, r) for c in pat for r in range(code.rows)}
-            verify_schedule(sched, unreadable_cols=pat, required_dsts=required)
+            verify_schedule(
+                sched,
+                unreadable_cols=pat,
+                garbage_cols=scratch,
+                required_dsts=required,
+            )
 
     def test_encode_schedules_write_all_parity(self):
         from repro.codes import make_code
@@ -84,3 +90,69 @@ class TestAgainstRealCodes:
                 for r in range(code.rows)
             }
             verify_schedule(code.encode_schedule(), required_dsts=required)
+
+
+class TestScratchGarbage:
+    """Regression: scratch-column garbage must be declarable.
+
+    The EVENODD decoder stages its adjuster S in the scratch column with
+    a copy before any read.  A reordered schedule that reads the staging
+    cell *before* that copy silently consumes garbage -- and the later
+    copy into the (erased-pattern-unrelated) scratch cell must not be
+    treated as making those earlier reads safe.  The original
+    ``verify_schedule`` could not see this because callers had no way to
+    declare scratch columns as garbage-holding; ``garbage_cols`` closes
+    the hole.
+    """
+
+    @staticmethod
+    def _reordered_evenodd_decode():
+        """An EVENODD (0,1)-decode with the scratch-initialising copy
+        deliberately moved after the first read of the scratch cell."""
+        from repro.codes import make_code
+
+        code = make_code("evenodd", 4, p=5)
+        sched = code.build_decode_schedule((0, 1))
+        scratch = code.n_cols
+        ops = list(sched)
+        first_write = next(
+            i for i, op in enumerate(ops) if op.dst_col == scratch and op.copy
+        )
+        first_read = next(i for i, op in enumerate(ops) if op.src_col == scratch)
+        moved = ops.pop(first_write)
+        ops.insert(first_read, moved)
+        bad = Schedule(sched.cols, sched.rows, ops)
+        return code, bad
+
+    def test_reordered_scratch_copy_rejected(self):
+        code, bad = self._reordered_evenodd_decode()
+        scratch = range(code.n_cols, code.total_cols)
+        with pytest.raises(ScheduleViolation, match="scratch"):
+            verify_schedule(bad, unreadable_cols=(0, 1), garbage_cols=scratch)
+
+    def test_hole_without_declaration_documented(self):
+        # Without garbage_cols the checker cannot know the scratch
+        # column holds garbage: the reordered schedule passes.  This
+        # documents why decode verification must declare scratch.
+        code, bad = self._reordered_evenodd_decode()
+        verify_schedule(bad, unreadable_cols=(0, 1))
+
+    def test_symbolic_prover_catches_it_too(self):
+        # The functional proof rejects the same mutant independently of
+        # any declaration: garbage atoms reach the recovered cells.
+        from repro.analysis.static import prove_decode
+
+        code, bad = self._reordered_evenodd_decode()
+        proof = prove_decode(code, (0, 1), bad)
+        assert not proof.ok
+
+    def test_pristine_schedule_passes_with_declaration(self):
+        from repro.codes import make_code
+
+        code = make_code("evenodd", 4, p=5)
+        sched = code.build_decode_schedule((0, 1))
+        verify_schedule(
+            sched,
+            unreadable_cols=(0, 1),
+            garbage_cols=range(code.n_cols, code.total_cols),
+        )

@@ -122,6 +122,30 @@ class TestInfo:
         assert "liberation-optimal" in out and "lower-bound" in out
 
 
+class TestAnalyze:
+    def test_clean_run_exits_zero(self, capsys):
+        rc = main(["analyze", "--families", "liberation-optimal",
+                   "--p", "5", "--k", "2,4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "analysis clean" in out and "liberation-optimal" in out
+
+    def test_json_report(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        rc = main(["analyze", "--families", "evenodd", "--p", "5", "--k", "3",
+                   "--json", str(report)])
+        assert rc == 0
+        payload = json.loads(report.read_text())
+        assert payload["ok"] and payload["n_geometries"] == 1
+        assert payload["ast_lint"] == []
+        enc = payload["results"][0]["encode"]
+        assert enc["proof"]["ok"] and not enc["optimal"]
+
+    def test_bad_prime_list_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "--p", "five"])
+
+
 @pytest.mark.slow
 class TestServeAndStats:
     """Real sockets + a background thread: slow-marked like test_node."""
