@@ -19,7 +19,13 @@ and flags, outside the approved seams:
   dependency-injected generator *is* the approved pattern.
 
 Approved seams: ``repro.sim`` (owns simulated time/randomness) and
-``repro.bench`` (wall-clock measurement is its whole point).
+``repro.bench`` (wall-clock measurement is its whole point --
+``repro.bench.wallclock`` is where code with a legitimate wall-clock
+need imports it from).  The observability layer (``repro.obs``) is
+deliberately *not* a seam: a tracer only ever reads the clock it was
+handed (``Tracer(now=...)``), so the lint holds over it like any other
+library code -- which is what makes its traces deterministic under the
+simulator.
 """
 
 from __future__ import annotations

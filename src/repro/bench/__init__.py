@@ -29,6 +29,7 @@ from repro.bench.throughput import (
     element_size_series,
 )
 from repro.bench.report import format_table, save_series
+from repro.bench.wallclock import wall_now, wall_time
 
 __all__ = [
     "encoding_complexity_series",
@@ -43,4 +44,6 @@ __all__ = [
     "element_size_series",
     "format_table",
     "save_series",
+    "wall_now",
+    "wall_time",
 ]

@@ -1,0 +1,27 @@
+"""Wall-clock access for measurement code.
+
+``repro.bench`` is the project's approved wall-clock seam (see the
+sim-seam AST lint in :mod:`repro.analysis.static.astlint`): everything
+outside it must take time from an injected clock.  Code that
+legitimately needs real time -- the CLI's ``trace`` command timing an
+encode, the regression gate stamping a run -- imports these two
+functions instead of touching :mod:`time` directly, which keeps the
+lint's "no ambient wall clock" guarantee auditable: every wall-clock
+read in the tree flows through this module or the sim clock.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["wall_now", "wall_time"]
+
+
+def wall_now() -> float:
+    """Monotonic seconds for measuring intervals (``perf_counter``)."""
+    return time.perf_counter()
+
+
+def wall_time() -> float:
+    """Seconds since the epoch for stamping artifacts (``time.time``)."""
+    return time.time()

@@ -42,6 +42,16 @@ the paper's ``k-1`` bound, and the project sim-seam AST lint:
 
     python -m repro.cli analyze --all-families --p 5,7,11,13
     python -m repro.cli analyze --families liberation-optimal --json report.json
+
+And the observability layer (:mod:`repro.obs`) -- span traces of real
+encodes/decodes (Chrome ``trace_event`` JSON, loadable in Perfetto) and
+the benchmark-regression gate:
+
+::
+
+    python -m repro.cli trace --k 11 --p 11 --out trace.json
+    python -m repro.cli bench regress --tolerance 0.15
+    python -m repro.cli stats 127.0.0.1:9100 --prometheus
 """
 
 from __future__ import annotations
@@ -268,27 +278,37 @@ def _parse_address(spec: str) -> tuple[str, int]:
 def cmd_stats(args) -> int:
     from repro.bench.report import format_table
     from repro.cluster.client import send_verb
-    from repro.cluster.metrics import MetricsRegistry
+    from repro.obs.metrics import MetricsRegistry
 
     async def run() -> int:
         rc = 0
         for spec in args.nodes:
             address = _parse_address(spec)
             try:
-                reply, _ = await asyncio.wait_for(
-                    send_verb(address, "stats"), args.timeout
-                )
+                if args.prometheus:
+                    reply, payload = await asyncio.wait_for(
+                        send_verb(address, "metrics"), args.timeout
+                    )
+                else:
+                    reply, _ = await asyncio.wait_for(
+                        send_verb(address, "stats"), args.timeout
+                    )
             except (OSError, EOFError, asyncio.TimeoutError, TimeoutError) as exc:
                 print(f"node {spec}: unreachable ({type(exc).__name__})")
                 rc = 1
                 continue
-            rows = [{"metric": "column", "value": reply.get("column")}]
-            rows += MetricsRegistry.rows(reply.get("stats", {}))
-            rows += [
-                {"metric": f"disk_{key}", "value": value}
-                for key, value in reply.get("disk", {}).items()
-            ]
-            print(format_table(rows, title=f"node {spec}"))
+            if args.prometheus:
+                # Raw text exposition, ready to paste into a scrape probe.
+                print(f"# node {spec} (column {reply.get('column')})")
+                sys.stdout.write(payload.decode())
+            else:
+                rows = [{"metric": "column", "value": reply.get("column")}]
+                rows += MetricsRegistry.rows(reply.get("stats", {}))
+                rows += [
+                    {"metric": f"disk_{key}", "value": value}
+                    for key, value in reply.get("disk", {}).items()
+                ]
+                print(format_table(rows, title=f"node {spec}"))
             if args.shutdown:
                 await send_verb(address, "shutdown")
                 print(f"node {spec}: shutdown acknowledged")
@@ -347,6 +367,96 @@ def cmd_analyze(args) -> int:
              f"{len(ast_findings)} AST finding(s)"
     )
     return 0 if ok else 1
+
+
+def cmd_trace(args) -> int:
+    from repro.bench.report import format_table
+    from repro.bench.wallclock import wall_now
+    from repro.obs.tracing import Tracer, use_tracer, write_chrome_trace, write_jsonl
+
+    families = [tok.strip() for tok in args.codes.split(",") if tok.strip()]
+    erasures = _parse_int_list(args.erasures) if args.erasures else None
+    tracer = Tracer(now=wall_now)
+
+    with use_tracer(tracer):
+        for name in families:
+            code = make_code(name, args.k, element_size=args.element_size,
+                             **({"p": args.p} if args.p else {}))
+            buf = code.alloc_stripe()
+            # Deterministic non-zero payload (no ambient RNG in the CLI).
+            flat = buf[: code.k].reshape(-1)
+            flat[:] = np.arange(1, flat.size + 1, dtype=flat.dtype)
+            flat *= np.asarray(0x9E3779B97F4A7C15, dtype=flat.dtype)
+            for _ in range(args.repeat):
+                code.encode(buf)
+            if erasures is not None:
+                for _ in range(args.repeat):
+                    work = buf.copy()
+                    for col in erasures:
+                        work[col] = 0
+                    code.decode(work, erasures)
+
+    out = write_chrome_trace(args.out, tracer.spans)
+    print(f"chrome trace: {out} ({len(tracer.spans)} spans; open in "
+          "Perfetto / chrome://tracing)")
+    if args.jsonl:
+        print(f"jsonl trace: {write_jsonl(args.jsonl, tracer.spans)}")
+
+    rows = []
+    for s in tracer.spans:
+        if s.name not in ("code.encode", "code.decode", "engine.compile"):
+            continue
+        rows.append({
+            "span": s.name,
+            "code": s.attrs.get("code", "-"),
+            "xors": s.attrs.get("xors"),
+            "cache": s.attrs.get("cache", "-"),
+            "ms": round((s.duration or 0.0) * 1e3, 3),
+            "gbps": s.attrs.get("gbps", "-"),
+        })
+    print(format_table(
+        rows,
+        title=f"schedule spans: k={args.k} element={args.element_size}B "
+              f"x{args.repeat}",
+    ))
+    print(f"trace digest: {tracer.digest()}")
+    return 0
+
+
+def cmd_bench_regress(args) -> int:
+    from repro.bench.report import format_table
+    from repro.obs.regress import regress
+
+    def progress(what: str) -> None:
+        print(f"  measuring {what}...", flush=True)
+
+    deltas, current, baseline = regress(
+        out_path=args.out,
+        baseline_path=args.baseline,
+        tolerance=args.tolerance,
+        quick=args.quick,
+        on_progress=progress,
+    )
+    n = len(current["metrics"])
+    if baseline is None:
+        print(f"no baseline found: wrote {args.out} with {n} metrics "
+              "(first run establishes the trajectory and passes)")
+        return 0
+    print(format_table(
+        [d.row() for d in deltas],
+        title=f"bench regression gate (tolerance {args.tolerance:.0%})",
+    ))
+    regressed = [d for d in deltas if d.regressed]
+    if regressed:
+        for d in regressed:
+            print(f"REGRESSED: {d.metric}: {d.baseline:.4f} -> {d.current:.4f} "
+                  f"({d.direction} is better)")
+        print(f"bench gate FAILED: {len(regressed)} of {len(deltas)} metrics "
+              f"regressed beyond {args.tolerance:.0%}")
+        return 1
+    print(f"bench gate clean: {len(deltas)} metrics within {args.tolerance:.0%} "
+          f"of baseline; {args.out} updated")
+    return 0
 
 
 def cmd_sim_fuzz(args) -> int:
@@ -450,9 +560,44 @@ def build_parser() -> argparse.ArgumentParser:
     st = sub.add_parser("stats", help="print strip-node metrics")
     st.add_argument("nodes", nargs="+", metavar="HOST:PORT")
     st.add_argument("--timeout", type=float, default=2.0)
+    st.add_argument("--prometheus", action="store_true",
+                    help="print the node's Prometheus text exposition instead")
     st.add_argument("--shutdown", action="store_true",
                     help="ask each node to shut down after reporting")
     st.set_defaults(func=cmd_stats)
+
+    tr = sub.add_parser(
+        "trace", help="trace real encodes/decodes to Chrome trace_event JSON"
+    )
+    tr.add_argument("--k", type=int, default=6, help="data columns (default 6)")
+    tr.add_argument("--p", type=int, default=None, help="prime (default: minimal)")
+    tr.add_argument("--codes", default="liberation-optimal,liberation-original",
+                    help="comma-separated families to trace side by side")
+    tr.add_argument("--element-size", type=int, default=4096)
+    tr.add_argument("--repeat", type=int, default=3,
+                    help="encodes per family (first is the plan-cache miss)")
+    tr.add_argument("--erasures", default=None,
+                    help="comma-separated columns to erase and decode, e.g. 0,1")
+    tr.add_argument("--out", default="trace.json",
+                    help="Chrome trace_event output path (default trace.json)")
+    tr.add_argument("--jsonl", default=None,
+                    help="also write the raw span JSONL here")
+    tr.set_defaults(func=cmd_trace)
+
+    bench = sub.add_parser("bench", help="benchmark trajectory commands")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    rg = bench_sub.add_parser(
+        "regress", help="run the perf suite and diff against the previous run"
+    )
+    rg.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed relative drift before failing (default 0.15)")
+    rg.add_argument("--out", default="BENCH_perf.json",
+                    help="perf trajectory file (default BENCH_perf.json)")
+    rg.add_argument("--baseline", default=None,
+                    help="compare against this file instead of the previous --out")
+    rg.add_argument("--quick", action="store_true",
+                    help="single geometry, short timing windows (PR soft gate)")
+    rg.set_defaults(func=cmd_bench_regress)
 
     an = sub.add_parser(
         "analyze",

@@ -29,9 +29,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.cluster.metrics import MetricsRegistry
 from repro.cluster.protocol import FrameChecksumError, ProtocolError, read_frame, write_frame
 from repro.codes.base import RAID6Code
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
 from repro.sim.clock import Clock, RealClock
 from repro.sim.transport import AsyncioTransport, Transport
 from repro.utils.words import WORD_DTYPE
@@ -133,6 +134,7 @@ class NodeClient:
         transport: Transport | None = None,
         clock: Clock | None = None,
         rng: random.Random | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.address = (str(address[0]), int(address[1]))
         self.policy = policy or RetryPolicy()
@@ -140,6 +142,7 @@ class NodeClient:
         self.transport = transport if transport is not None else AsyncioTransport()
         self.clock = clock if clock is not None else RealClock()
         self.rng = rng
+        self.tracer = tracer
 
     async def _attempt(self, header: dict, payload: bytes) -> tuple[dict, bytes]:
         reader, writer = await self.transport.connect(self.address)
@@ -162,6 +165,21 @@ class NodeClient:
         answers and :class:`NodeUnavailableError` once the retry budget
         is exhausted by transport-level failures.
         """
+        if self.tracer is None:
+            return await self._request_with_retries(verb, header, payload)
+        with self.tracer.span(f"rpc.{verb}", bytes_out=len(payload)) as span:
+            try:
+                reply, data = await self._request_with_retries(verb, header, payload)
+            except ClusterError as exc:
+                span.set("outcome", type(exc).__name__)
+                raise
+            span.set("outcome", "ok")
+            span.set("bytes_in", len(data))
+            return reply, data
+
+    async def _request_with_retries(
+        self, verb: str, header: dict | None, payload: bytes
+    ) -> tuple[dict, bytes]:
         full_header = {"verb": verb, **(header or {})}
         policy = self.policy
         delays = policy.delays(self.rng)
@@ -222,6 +240,7 @@ class ClusterArray:
         transport: Transport | None = None,
         clock: Clock | None = None,
         rng: random.Random | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if len(addresses) != code.n_cols:
             raise ValueError(
@@ -236,6 +255,7 @@ class ClusterArray:
         self.transport = transport if transport is not None else AsyncioTransport()
         self.clock = clock if clock is not None else RealClock()
         self.rng = rng
+        self.tracer = tracer
         self.clients = [self._make_client(addr) for addr in addresses]
 
     def _make_client(self, address: tuple[str, int]) -> NodeClient:
@@ -246,6 +266,7 @@ class ClusterArray:
             transport=self.transport,
             clock=self.clock,
             rng=self.rng,
+            tracer=self.tracer,
         )
 
     # -- geometry ----------------------------------------------------------

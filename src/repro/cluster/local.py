@@ -17,6 +17,7 @@ import random
 from repro.cluster.client import ClusterArray, RetryPolicy
 from repro.cluster.node import StripNode
 from repro.codes.base import RAID6Code
+from repro.obs.tracing import Tracer
 from repro.sim.clock import Clock
 from repro.sim.transport import Transport
 
@@ -29,7 +30,10 @@ class LocalCluster:
     ``transport``/``clock`` default to real sockets and the event-loop
     clock; pass a :class:`~repro.sim.transport.MemoryTransport` and
     :class:`~repro.sim.clock.VirtualClock` to run the whole cluster as
-    a deterministic in-process simulation.
+    a deterministic in-process simulation.  An optional
+    :class:`~repro.obs.tracing.Tracer` is threaded into every node (and
+    into arrays built via :meth:`array`), so one trace shows client
+    RPCs and node dispatches interleaved on one timeline.
     """
 
     def __init__(
@@ -40,16 +44,18 @@ class LocalCluster:
         host: str = "127.0.0.1",
         transport: Transport | None = None,
         clock: Clock | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.code = code
         self.n_stripes = int(n_stripes)
         self.host = host
         self.transport = transport
         self.clock = clock
+        self.tracer = tracer
         strip_words = code.rows * (code.element_size // 8)
         self.nodes: list[StripNode] = [
             StripNode(col, n_stripes, strip_words, host=host,
-                      transport=transport, clock=clock)
+                      transport=transport, clock=clock, tracer=tracer)
             for col in range(code.n_cols)
         ]
         #: replacement nodes started via :meth:`start_replacement`
@@ -92,6 +98,7 @@ class LocalCluster:
         node = StripNode(
             column, self.n_stripes, self.nodes[column].disk.strip_words,
             host=self.host, transport=self.transport, clock=self.clock,
+            tracer=self.tracer,
         )
         await node.start()
         self.replacements[column] = node
@@ -113,4 +120,5 @@ class LocalCluster:
         return ClusterArray(
             self.code, self.addresses, self.n_stripes, policy=policy,
             transport=self.transport, clock=self.clock, rng=rng,
+            tracer=self.tracer,
         )

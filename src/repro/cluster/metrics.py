@@ -1,152 +1,31 @@
-"""Embedded metrics for the cluster: counters and latency histograms.
+"""Compatibility shim: the metrics registry moved to ``repro.obs.metrics``.
 
-Both the node server and the :class:`~repro.cluster.client.ClusterArray`
-carry a :class:`MetricsRegistry`; snapshots travel over the wire in the
-``stats`` verb's reply header and render through the same table
-formatter the benchmark harness uses (``repro stats`` CLI view).
-
-Deliberately tiny -- no external dependency, no background threads:
-counters are plain ints (safe under asyncio's cooperative scheduling)
-and histograms bucket observations on a fixed log2 grid so snapshots
-are bounded and mergeable.
+The counters/histograms that started life embedded in the cluster are
+now the project-wide metrics layer (gauges, mergeable histograms, a
+Prometheus formatter) in :mod:`repro.obs.metrics`; this module re-exports
+the public names so existing imports -- and the wire-facing ``stats``
+verb plumbing built on them -- keep working unchanged.  New code should
+import from :mod:`repro.obs.metrics` directly.
 """
 
 from __future__ import annotations
 
-import math
-from collections.abc import Iterable
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    set_default_registry,
+    to_prometheus,
+)
 
-__all__ = ["Counter", "Histogram", "MetricsRegistry"]
-
-
-class Counter:
-    """A monotonically increasing event counter."""
-
-    __slots__ = ("name", "value")
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self.value = 0
-
-    def inc(self, n: int = 1) -> None:
-        if n < 0:
-            raise ValueError("counters only go up")
-        self.value += n
-
-
-class Histogram:
-    """Log2-bucketed distribution (for request latencies, sizes...).
-
-    Bucket ``i`` counts observations in ``(base * 2**(i-1), base * 2**i]``
-    with everything ``<= base`` in bucket 0; quantiles are read back as
-    the upper edge of the containing bucket (a <=2x overestimate, plenty
-    for spotting a slow node).
-    """
-
-    __slots__ = ("name", "base", "counts", "total", "sum")
-
-    N_BUCKETS = 32
-
-    def __init__(self, name: str, *, base: float = 1e-4) -> None:
-        self.name = name
-        self.base = float(base)
-        self.counts = [0] * self.N_BUCKETS
-        self.total = 0
-        self.sum = 0.0
-
-    def observe(self, value: float) -> None:
-        if value < 0:
-            raise ValueError("histogram observations must be >= 0")
-        idx = 0 if value <= self.base else int(math.log2(value / self.base)) + 1
-        self.counts[min(idx, self.N_BUCKETS - 1)] += 1
-        self.total += 1
-        self.sum += value
-
-    def quantile(self, q: float) -> float:
-        """Upper bucket edge containing the ``q``-quantile (0 if empty)."""
-        if not 0 <= q <= 1:
-            raise ValueError(f"quantile must be in [0, 1], got {q}")
-        if self.total == 0:
-            return 0.0
-        rank = max(1, math.ceil(q * self.total))
-        seen = 0
-        for i, c in enumerate(self.counts):
-            seen += c
-            if seen >= rank:
-                return self.base * (2**i)
-        return self.base * (2 ** (self.N_BUCKETS - 1))
-
-    @property
-    def mean(self) -> float:
-        return self.sum / self.total if self.total else 0.0
-
-    def snapshot(self) -> dict:
-        return {
-            "count": self.total,
-            "sum": self.sum,
-            "mean": self.mean,
-            "p50": self.quantile(0.50),
-            "p95": self.quantile(0.95),
-            "p99": self.quantile(0.99),
-        }
-
-
-class MetricsRegistry:
-    """A named bag of counters and histograms."""
-
-    def __init__(self) -> None:
-        self._counters: dict[str, Counter] = {}
-        self._histograms: dict[str, Histogram] = {}
-
-    def counter(self, name: str) -> Counter:
-        try:
-            return self._counters[name]
-        except KeyError:
-            c = self._counters[name] = Counter(name)
-            return c
-
-    def histogram(self, name: str, *, base: float = 1e-4) -> Histogram:
-        try:
-            return self._histograms[name]
-        except KeyError:
-            h = self._histograms[name] = Histogram(name, base=base)
-            return h
-
-    def get(self, name: str) -> int:
-        """Current value of a counter (0 if never touched)."""
-        c = self._counters.get(name)
-        return c.value if c is not None else 0
-
-    def snapshot(self) -> dict:
-        """JSON-serialisable view: ``{counters: {...}, histograms: {...}}``."""
-        return {
-            "counters": {n: c.value for n, c in sorted(self._counters.items())},
-            "histograms": {
-                n: h.snapshot() for n, h in sorted(self._histograms.items())
-            },
-        }
-
-    @staticmethod
-    def rows(snapshot: dict, *, prefix: str = "") -> list[dict]:
-        """Flatten a snapshot into table rows for ``format_table``."""
-        out: list[dict] = []
-        for name, value in snapshot.get("counters", {}).items():
-            out.append({"metric": prefix + name, "value": value})
-        for name, h in snapshot.get("histograms", {}).items():
-            out.append(
-                {
-                    "metric": f"{prefix}{name} (n={h['count']})",
-                    "value": f"mean={h['mean']:.4g} p95={h['p95']:.4g}",
-                }
-            )
-        return out
-
-    @staticmethod
-    def merge(snapshots: Iterable[dict]) -> dict:
-        """Sum counters across snapshots (histograms are dropped --
-        their buckets merge fine but cross-node quantiles mislead)."""
-        totals: dict[str, int] = {}
-        for snap in snapshots:
-            for name, value in snap.get("counters", {}).items():
-                totals[name] = totals.get(name, 0) + value
-        return {"counters": dict(sorted(totals.items())), "histograms": {}}
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "set_default_registry",
+    "to_prometheus",
+]

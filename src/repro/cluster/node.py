@@ -26,8 +26,9 @@ import numpy as np
 
 from repro.array.disk import DiskError, DiskFailedError, LatentSectorError, SimulatedDisk
 from repro.array.faults import NetworkFaultPlan
-from repro.cluster.metrics import MetricsRegistry
 from repro.cluster.protocol import ProtocolError, encode_frame, read_frame
+from repro.obs.metrics import MetricsRegistry, to_prometheus
+from repro.obs.tracing import Tracer
 from repro.sim.clock import Clock, RealClock
 from repro.sim.transport import AsyncioTransport, Transport
 from repro.utils.words import WORD_DTYPE
@@ -56,6 +57,7 @@ class StripNode:
         port: int = 0,
         transport: Transport | None = None,
         clock: Clock | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.column = int(column)
         self.disk = SimulatedDisk(column, n_strips, strip_words)
@@ -63,6 +65,8 @@ class StripNode:
         self.metrics = MetricsRegistry()
         self.transport = transport if transport is not None else AsyncioTransport()
         self.clock = clock if clock is not None else RealClock()
+        #: optional span recorder (deterministic under the sim clock).
+        self.tracer = tracer
         self._host = host
         self._port = port
         self._server = None
@@ -130,6 +134,15 @@ class StripNode:
     async def _dispatch(self, header: dict, payload: bytes, writer) -> bool:
         """Serve one request; returns False to close the connection."""
         verb = header.get("verb", "?")
+        if self.tracer is None:
+            return await self._dispatch_inner(verb, header, payload, writer)
+        with self.tracer.span(f"node.{verb}", column=self.column,
+                              bytes=len(payload)):
+            return await self._dispatch_inner(verb, header, payload, writer)
+
+    async def _dispatch_inner(
+        self, verb: str, header: dict, payload: bytes, writer
+    ) -> bool:
         self.metrics.counter(f"requests_{verb}").inc()
         self.metrics.counter("bytes_in").inc(len(payload))
 
@@ -207,12 +220,40 @@ class StripNode:
                     "n_strips": self.disk.n_strips,
                 },
             }, b""
+        if verb == "metrics":
+            return (
+                {"status": "ok", "column": self.column,
+                 "content_type": "text/plain; version=0.0.4"},
+                self._prometheus_body().encode(),
+            )
         if verb == "fault":
             return self._serve_fault(header), b""
         if verb == "shutdown":
             self._stopped.set()
             return {"status": "ok", "column": self.column}, b""
         return {"status": "err", "error": "bad-verb", "detail": f"unknown verb {verb!r}"}, b""
+
+    def _prometheus_body(self) -> str:
+        """Prometheus text exposition of this node's registry + disk.
+
+        Disk access totals render as counters, disk state as gauges;
+        every sample carries a ``column`` label so the per-node
+        endpoints stay aggregatable across the cluster.
+        """
+        snap = self.metrics.snapshot()
+        snap["counters"] = {
+            **snap["counters"],
+            "disk_reads": self.disk.stats.reads,
+            "disk_writes": self.disk.stats.writes,
+            "disk_bytes_read": self.disk.stats.bytes_read,
+            "disk_bytes_written": self.disk.stats.bytes_written,
+        }
+        snap["gauges"] = {
+            **snap.get("gauges", {}),
+            "disk_failed": float(self.disk.failed),
+            "disk_n_strips": float(self.disk.n_strips),
+        }
+        return to_prometheus(snap, labels={"column": str(self.column)})
 
     def _serve_fault(self, header: dict) -> dict:
         """Install network faults and/or trigger disk faults remotely."""

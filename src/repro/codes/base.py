@@ -27,6 +27,8 @@ from repro.engine import (
     compile_schedule,
     execute_bits,
 )
+from repro.obs.profile import schedule_span
+from repro.obs.tracing import active_tracer
 from repro.utils.validation import check_element_size, check_erasures
 from repro.utils.words import alloc_stripe, element_words
 
@@ -186,6 +188,9 @@ class XorScheduleCode(RAID6Code):
         self._encode_plan = None
         self._encode_sched: Schedule | None = None
         self._decode_plans: dict[tuple[int, ...], object] = {}
+        #: (n_xors, n_ops) per cached decode plan, so a traced cache hit
+        #: can report schedule cost without rebuilding the schedule.
+        self._decode_stats: dict[tuple[int, ...], tuple[int, int]] = {}
 
     def _compile(self, sched: Schedule):
         if self.execution == "streaming":
@@ -217,21 +222,61 @@ class XorScheduleCode(RAID6Code):
 
     def encode(self, buf: np.ndarray) -> np.ndarray:
         self.check_stripe(buf)
-        if self._encode_plan is None:
-            self._encode_plan = self._compile(self.encode_schedule())
-        return self._encode_plan.run(buf)
+        tracer = active_tracer()
+        if tracer is None:  # hot path: one global read, zero allocations
+            if self._encode_plan is None:
+                self._encode_plan = self._compile(self.encode_schedule())
+            return self._encode_plan.run(buf)
+        sched = self.encode_schedule()
+        cache = "hit" if self._encode_plan is not None else "miss"
+        with schedule_span(
+            tracer, "code.encode", code=self.name, xors=sched.n_xors,
+            ops=len(sched), nbytes=int(buf.nbytes), cache=cache,
+        ):
+            if self._encode_plan is None:
+                self._encode_plan = self._compile(sched)
+            return self._encode_plan.run(buf)
 
     def decode(self, buf: np.ndarray, erasures) -> np.ndarray:
         self.check_stripe(buf)
         ers = check_erasures(erasures, self.n_cols)
         if not ers:
             return buf
+        tracer = active_tracer()
+        if tracer is None:  # hot path: one global read, zero allocations
+            plan = self._decode_plans.get(ers)
+            if plan is None:
+                sched = self.build_decode_schedule(ers)
+                plan = self._compile(sched)
+                if self.cache_decode_plans:
+                    self._decode_plans[ers] = plan
+                    self._decode_stats[ers] = (sched.n_xors, len(sched))
+            return plan.run(buf)
         plan = self._decode_plans.get(ers)
         if plan is None:
-            plan = self._compile(self.build_decode_schedule(ers))
-            if self.cache_decode_plans:
-                self._decode_plans[ers] = plan
-        return plan.run(buf)
+            sched = self.build_decode_schedule(ers)
+            stats = (sched.n_xors, len(sched))
+            cache = "miss"
+        else:
+            sched = None
+            hit = self._decode_stats.get(ers)
+            if hit is None:  # plan cached before stats existed: rebuild cheaply
+                rebuilt = self.build_decode_schedule(ers)
+                hit = (rebuilt.n_xors, len(rebuilt))
+                self._decode_stats[ers] = hit
+            stats = hit
+            cache = "hit"
+        with schedule_span(
+            tracer, "code.decode", code=self.name, xors=stats[0],
+            ops=stats[1], nbytes=int(buf.nbytes), cache=cache,
+            erasures=",".join(map(str, ers)),
+        ):
+            if plan is None:
+                plan = self._compile(sched)
+                if self.cache_decode_plans:
+                    self._decode_plans[ers] = plan
+                    self._decode_stats[ers] = stats
+            return plan.run(buf)
 
     # -- bit-level coding (tests, exact semantics) ------------------------------
 

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.engine.ops import Schedule
+from repro.obs.tracing import active_tracer
 
 __all__ = [
     "execute_bits",
@@ -203,6 +204,22 @@ def compile_schedule(
     * a copy into a destination with an open group starts a fresh group
       (the old value is dead by definition of copy).
     """
+    tracer = active_tracer()
+    if tracer is not None:
+        with tracer.span(
+            "engine.compile",
+            ops=len(schedule),
+            xors=schedule.n_xors,
+            batched=batched,
+            validate=validate,
+        ):
+            return _compile(schedule, batched=batched, validate=validate)
+    return _compile(schedule, batched=batched, validate=validate)
+
+
+def _compile(
+    schedule: Schedule, *, batched: bool, validate: bool
+) -> CompiledSchedule:
     rows = schedule.rows
     open_groups: dict[int, _Group] = {}  # dst flat index -> group
     readers: dict[int, set[int]] = {}  # cell -> dsts of open groups reading it

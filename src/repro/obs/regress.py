@@ -1,0 +1,220 @@
+"""The benchmark-regression gate behind ``repro bench regress``.
+
+Runs a bounded performance suite -- XOR counts (exact, deterministic)
+plus streaming-executor throughput (measured, best-of-window) -- and
+writes the result as a flat metric map to ``BENCH_perf.json`` at the
+repository top level, starting the bench trajectory that CI diffs
+across runs.  A second invocation loads the previous file as the
+baseline, re-measures, and exits non-zero when any metric regressed
+beyond tolerance:
+
+* ``direction: higher`` metrics (throughput) regress when
+  ``current < baseline * (1 - tolerance)``;
+* ``direction: lower`` metrics (XOR counts) regress when
+  ``current > baseline * (1 + tolerance)`` -- and XOR counts are exact,
+  so in practice *any* increase trips a sane tolerance.
+
+Improvements move the stored baseline forward automatically (the new
+file simply replaces the old), so the gate ratchets: CI restores the
+previous ``BENCH_perf.json`` from its cache, runs the gate as a soft
+warning on PRs, and hard-fails the nightly run.
+
+This module contains no wall-clock calls of its own: measurement
+happens inside :mod:`repro.bench` (the approved wall-clock seam), and
+run stamps come from :func:`repro.bench.wallclock.wall_time`.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.bench.complexity import all_data_pairs
+from repro.bench.throughput import measure_decode, measure_encode
+from repro.bench.wallclock import wall_time
+from repro.codes.registry import make_code
+from repro.utils.primes import prime_for_k
+
+__all__ = [
+    "DEFAULT_PERF_PATH",
+    "DEFAULT_TOLERANCE",
+    "Delta",
+    "run_perf_suite",
+    "compare",
+    "load_perf",
+    "save_perf",
+    "regress",
+]
+
+SCHEMA = 1
+DEFAULT_TOLERANCE = 0.15
+#: The top-level bench-trajectory file (repo root, not ``results/``).
+DEFAULT_PERF_PATH = "BENCH_perf.json"
+
+#: Code families the gate watches (the paper's comparison pair).
+_FAMILIES = ("liberation-optimal", "liberation-original")
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One metric compared across two runs."""
+
+    metric: str
+    baseline: float
+    current: float
+    direction: str  # "higher" or "lower" is better
+    tolerance: float
+
+    @property
+    def ratio(self) -> float:
+        return self.current / self.baseline if self.baseline else float("inf")
+
+    @property
+    def regressed(self) -> bool:
+        if self.direction == "higher":
+            return self.current < self.baseline * (1.0 - self.tolerance)
+        return self.current > self.baseline * (1.0 + self.tolerance)
+
+    def row(self) -> dict:
+        """Table row for ``repro.bench.report.format_table``."""
+        return {
+            "metric": self.metric,
+            "baseline": round(self.baseline, 4),
+            "current": round(self.current, 4),
+            "ratio": round(self.ratio, 4),
+            "verdict": "REGRESSED" if self.regressed else "ok",
+        }
+
+
+def _decode_xors(name: str, k: int, max_pairs: int = 4) -> float:
+    """Average decode XORs over a strided sample of data-column pairs."""
+    code = make_code(name, k, p=prime_for_k(k))
+    pairs = all_data_pairs(k)
+    if len(pairs) > max_pairs:
+        stride = len(pairs) / max_pairs
+        pairs = [pairs[int(i * stride)] for i in range(max_pairs)]
+    return sum(code.decoding_xors(pr) for pr in pairs) / len(pairs)
+
+
+def run_perf_suite(
+    *,
+    quick: bool = False,
+    on_progress: Callable[[str], None] | None = None,
+) -> dict:
+    """Measure the gate's metric set; returns the ``BENCH_perf`` payload.
+
+    ``quick`` shrinks the sweep to one geometry with short timing
+    windows (used by the test suite and the PR soft gate); the full
+    sweep adds a second ``k`` and the baseline family's throughput.
+    """
+
+    def progress(what: str) -> None:
+        if on_progress is not None:
+            on_progress(what)
+
+    metrics: dict[str, dict] = {}
+
+    def put(name: str, value: float, unit: str, direction: str) -> None:
+        metrics[name] = {"value": value, "unit": unit, "direction": direction}
+
+    ks = (6,) if quick else (6, 10)
+    # XOR counts: exact schedule properties, zero measurement noise --
+    # the cheapest regression tripwire the paper's metric allows.
+    for name in _FAMILIES:
+        for k in ks:
+            progress(f"xor counts: {name} k={k}")
+            code = make_code(name, k, p=prime_for_k(k))
+            put(f"encode_xors/{name}/k{k}", float(code.encoding_xors()),
+                "xors", "lower")
+            put(f"decode_xors/{name}/k{k}", _decode_xors(name, k),
+                "xors", "lower")
+
+    # Throughput: streaming executor (paper-faithful), best-of-window
+    # timing so background noise cannot manufacture a regression.
+    inner, repeats = (20, 5) if quick else (20, 6)
+    tp_families = ("liberation-optimal",) if quick else _FAMILIES
+    for name in tp_families:
+        for k in ks:
+            progress(f"encode throughput: {name} k={k}")
+            res = measure_encode(name, k, element_size=4096,
+                                 inner=inner, repeats=repeats)
+            put(f"encode_gbps/{name}/k{k}/4KB", res.gbps, "GB/s", "higher")
+    progress("decode throughput: liberation-optimal k=6")
+    res = measure_decode("liberation-optimal", 6, element_size=4096,
+                         max_pairs=2, inner=6, repeats=4 if quick else 5)
+    put("decode_gbps/liberation-optimal/k6/4KB", res.gbps, "GB/s", "higher")
+
+    return {
+        "schema": SCHEMA,
+        "generated_unix": wall_time(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "quick": quick,
+        "metrics": metrics,
+    }
+
+
+def compare(baseline: dict, current: dict, *, tolerance: float = DEFAULT_TOLERANCE) -> list[Delta]:
+    """Per-metric deltas over the metrics both runs share.
+
+    Metrics present in only one run are ignored: adding a metric must
+    not fail the gate, and removing one is a review-visible diff of the
+    checked-in ``BENCH_perf.json``.
+    """
+    deltas: list[Delta] = []
+    base_metrics = baseline.get("metrics", {})
+    for name, cur in sorted(current.get("metrics", {}).items()):
+        base = base_metrics.get(name)
+        if base is None:
+            continue
+        deltas.append(
+            Delta(
+                metric=name,
+                baseline=float(base["value"]),
+                current=float(cur["value"]),
+                direction=cur.get("direction", "higher"),
+                tolerance=tolerance,
+            )
+        )
+    return deltas
+
+
+def load_perf(path: str | pathlib.Path) -> dict | None:
+    """Load a ``BENCH_perf.json`` (None when absent)."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def save_perf(payload: dict, path: str | pathlib.Path) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def regress(
+    *,
+    out_path: str | pathlib.Path = DEFAULT_PERF_PATH,
+    baseline_path: str | pathlib.Path | None = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+    quick: bool = False,
+    on_progress: Callable[[str], None] | None = None,
+) -> tuple[list[Delta], dict, dict | None]:
+    """Run the gate: measure, persist, diff against the baseline.
+
+    Returns ``(deltas, current_payload, baseline_payload)``; the
+    baseline is the previous ``out_path`` contents unless
+    ``baseline_path`` points elsewhere (CI restores its cached copy
+    through that seam, and the 2x-slowdown test fixture injects its
+    doctored baseline the same way).  First runs have no baseline and
+    return no deltas -- the gate only ever compares real measurements.
+    """
+    baseline = load_perf(baseline_path if baseline_path is not None else out_path)
+    current = run_perf_suite(quick=quick, on_progress=on_progress)
+    save_perf(current, out_path)
+    deltas = compare(baseline, current, tolerance=tolerance) if baseline else []
+    return deltas, current, baseline

@@ -1,0 +1,244 @@
+"""Structured spans: deterministic tracing for every layer.
+
+A :class:`Span` is one named, attributed, timed region of work; a
+:class:`Tracer` collects them into a trace.  Two properties make this
+usable *inside* the deterministic-simulation harness (``repro.sim``)
+where ordinary tracing libraries cannot go:
+
+* **Injectable time.**  A tracer never consults a wall clock.  It reads
+  time from the ``now`` callable it was constructed with -- typically
+  ``VirtualClock.time`` under simulation, ``repro.bench.wall_now`` for
+  real measurements -- and falls back to a *logical* tick counter
+  (0, 1, 2, ...) when no clock is injected.  Every time source above is
+  deterministic under replay, so the same seed produces byte-identical
+  traces (:meth:`Tracer.digest` pins that down, exactly like
+  ``repro.sim``'s scenario trace digests).
+
+* **Deterministic structure.**  Span ids are sequential, parenting goes
+  through a :class:`contextvars.ContextVar` (correct across asyncio
+  task switches), and spans are recorded in start order.
+
+Exporters translate a finished trace to JSONL (one span per line) and
+to the Chrome ``trace_event`` format, loadable in Perfetto /
+``chrome://tracing`` (``X`` complete events; timestamps in
+microseconds).
+
+The process-default tracer is *off* by default: hot paths guard with a
+single ``active_tracer() is None`` check per schedule run, so disabled
+tracing adds no per-op work and no allocations (a property the test
+suite asserts with ``tracemalloc``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import hashlib
+import json
+import pathlib
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "active_tracer",
+    "set_tracer",
+    "use_tracer",
+    "spans_to_jsonl",
+    "spans_to_chrome",
+    "write_jsonl",
+    "write_chrome_trace",
+    "trace_digest",
+]
+
+#: Attribute values allowed on spans (JSON scalars only, so traces are
+#: wire-safe and digests canonical).
+AttrValue = int | float | str | bool | None
+
+
+@dataclass
+class Span:
+    """One named, timed region with JSON-scalar attributes.
+
+    ``duration`` is ``None`` while the span is open; attributes may be
+    added after close (e.g. throughput derived from the duration) --
+    exporters run strictly after the trace is finished.
+    """
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start: float
+    duration: float | None = None
+    attrs: dict[str, AttrValue] = field(default_factory=dict)
+
+    def set(self, key: str, value: AttrValue) -> None:
+        """Attach/overwrite one attribute."""
+        self.attrs[key] = value
+
+    def to_dict(self) -> dict[str, object]:
+        """Canonical JSON-ready form (times rounded to nanoseconds, the
+        same stabilisation ``repro.sim`` applies to its trace records)."""
+        return {
+            "name": self.name,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "start": round(self.start, 9),
+            "duration": None if self.duration is None else round(self.duration, 9),
+            "attrs": dict(sorted(self.attrs.items())),
+        }
+
+
+class Tracer:
+    """Collects spans; the ``now`` callable is the injected clock seam.
+
+    ``Tracer(now=clock.time)`` records virtual timestamps under
+    ``repro.sim``; ``Tracer(now=repro.bench.wall_now)`` records real
+    ones.  With no clock at all, a logical counter advances by one at
+    every span boundary -- still totally ordered, still deterministic.
+    """
+
+    def __init__(self, now: Callable[[], float] | None = None) -> None:
+        self._ticks = 0
+        self.now: Callable[[], float] = now if now is not None else self._tick
+        self.spans: list[Span] = []
+        self._next_id = 0
+        self._current: contextvars.ContextVar[Span | None] = contextvars.ContextVar(
+            "repro_obs_current_span", default=None
+        )
+
+    def _tick(self) -> float:
+        self._ticks += 1
+        return float(self._ticks - 1)
+
+    # -- recording ---------------------------------------------------------
+
+    @contextlib.contextmanager
+    def span(self, name: str, **attrs: AttrValue) -> Iterator[Span]:
+        """Open a child span of the current one for the ``with`` body."""
+        parent = self._current.get()
+        s = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=None if parent is None else parent.span_id,
+            start=self.now(),
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self.spans.append(s)  # start order == deterministic record order
+        token = self._current.set(s)
+        try:
+            yield s
+        finally:
+            self._current.reset(token)
+            s.duration = self.now() - s.start
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self._next_id = 0
+
+    # -- inspection --------------------------------------------------------
+
+    def find(self, name: str) -> list[Span]:
+        """All spans with the given name, in start order."""
+        return [s for s in self.spans if s.name == name]
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical trace (same seed => same digest)."""
+        return trace_digest(self.spans)
+
+
+# -- process-default tracer ---------------------------------------------------
+
+_ACTIVE: Tracer | None = None
+
+
+def active_tracer() -> Tracer | None:
+    """The process-default tracer, or ``None`` when tracing is off.
+
+    Hot paths call this once per schedule run; the ``None`` fast path
+    is a single global read, no allocation.
+    """
+    return _ACTIVE
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer | None:
+    """Install (or clear) the process-default tracer; returns the old one."""
+    global _ACTIVE
+    previous, _ACTIVE = _ACTIVE, tracer
+    return previous
+
+
+@contextlib.contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Scope ``tracer`` as the process default for a ``with`` body."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+# -- exporters ----------------------------------------------------------------
+
+
+def spans_to_jsonl(spans: Iterable[Span]) -> str:
+    """One canonical JSON object per line (grep/jq-friendly)."""
+    return "".join(
+        json.dumps(s.to_dict(), sort_keys=True, separators=(",", ":")) + "\n"
+        for s in spans
+    )
+
+
+def spans_to_chrome(spans: Iterable[Span], *, process_name: str = "repro") -> dict:
+    """Chrome ``trace_event`` JSON (open in Perfetto / chrome://tracing).
+
+    Spans become ``X`` (complete) events; timestamps and durations are
+    microseconds as the format requires.  The logical-clock fallback
+    therefore renders as 1 "microsecond" per tick -- fine for structure
+    and attribute inspection, meaningless as absolute time.
+    """
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for s in spans:
+        events.append(
+            {
+                "name": s.name,
+                "ph": "X",
+                "pid": 0,
+                "tid": 0,
+                "ts": round(s.start * 1e6, 3),
+                "dur": round((s.duration or 0.0) * 1e6, 3),
+                "args": {**dict(sorted(s.attrs.items())), "span_id": s.span_id,
+                         "parent_id": s.parent_id},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_jsonl(path: str | pathlib.Path, spans: Iterable[Span]) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.write_text(spans_to_jsonl(spans))
+    return path
+
+
+def write_chrome_trace(
+    path: str | pathlib.Path, spans: Iterable[Span], *, process_name: str = "repro"
+) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(spans_to_chrome(spans, process_name=process_name),
+                               indent=2) + "\n")
+    return path
+
+
+def trace_digest(spans: Sequence[Span] | Iterable[Span]) -> str:
+    """SHA-256 over the canonical JSONL rendering of a span list."""
+    return hashlib.sha256(spans_to_jsonl(spans).encode()).hexdigest()

@@ -35,6 +35,7 @@ generator, never correctness).
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import hashlib
 import json
 import random
@@ -48,6 +49,7 @@ from repro.cluster.client import RetryPolicy
 from repro.cluster.local import LocalCluster
 from repro.cluster.rebuild import RebuildScheduler
 from repro.codes import make_code
+from repro.obs.tracing import Tracer, use_tracer
 from repro.sim.clock import VirtualClock
 from repro.sim.transport import MemoryTransport
 
@@ -245,22 +247,33 @@ def _first_diff(a: bytes, b: bytes) -> int:
 
 
 def run_scenario(
-    scenario: SimScenario, *, code_factory=make_code
+    scenario: SimScenario, *, code_factory=make_code,
+    tracer: Tracer | None = None,
 ) -> ScenarioResult:
     """Execute a scenario under virtual time; raises on any divergence.
 
     ``code_factory`` is the injectable seam the fuzzer's self-tests use
     to plant a known-buggy code and prove the harness catches it.
+
+    When a ``tracer`` is supplied it is rebound to the scenario's
+    :class:`~repro.sim.clock.VirtualClock` (its ``now`` is replaced) and
+    installed as the active tracer for the run, so RPC, node-dispatch
+    and engine schedule spans all land on the same virtual timeline.
+    Because every span timestamp comes off the virtual clock, the trace
+    digest is a pure function of the seed -- same seed, same spans.
     """
 
     async def main() -> ScenarioResult:
         clock = VirtualClock()
         transport = MemoryTransport()
+        if tracer is not None:
+            tracer.now = clock.time  # spans share the op timeline
         kwargs = {"p": scenario.p, "element_size": scenario.element_size}
         cluster_code = code_factory(scenario.code, scenario.k, **kwargs)
         model_code = code_factory(scenario.code, scenario.k, **kwargs)
         cluster = LocalCluster(
-            cluster_code, scenario.n_stripes, transport=transport, clock=clock
+            cluster_code, scenario.n_stripes, transport=transport, clock=clock,
+            tracer=tracer,
         )
         model = RAID6Array(model_code, scenario.n_stripes)
         trace: list = []
@@ -347,4 +360,6 @@ def run_scenario(
             counters=counters,
         )
 
-    return asyncio.run(main())
+    scope = use_tracer(tracer) if tracer is not None else contextlib.nullcontext()
+    with scope:  # activate so engine schedule spans are recorded too
+        return asyncio.run(main())

@@ -87,3 +87,33 @@ class TestProjectWalk:
     def test_finding_str_is_location_first(self):
         fs = lint_source("import time\ntime.sleep(1)\n", "pkg/mod.py")
         assert str(fs[0]).startswith("pkg/mod.py:2:")
+
+
+class TestObsIsNotASeam:
+    """``repro.obs`` is deliberately linted like any other library code:
+    a tracer only reads the clock it is handed, so the whole package
+    must survive the lint without a seam exemption."""
+
+    def test_obs_is_walked_not_skipped(self):
+        import repro.obs
+
+        root = Path(repro.obs.__file__).parent.parent  # the repro package
+        obs_files = {p.relative_to(root).as_posix()
+                     for p in (root / "obs").glob("*.py")}
+        assert "obs/tracing.py" in obs_files  # sanity: package present
+        from repro.analysis.static.astlint import DEFAULT_SEAMS
+
+        assert not any(f.startswith(seam)
+                       for f in obs_files for seam in DEFAULT_SEAMS)
+
+    def test_obs_package_lints_clean(self):
+        import repro.obs
+
+        fs = lint_project(Path(repro.obs.__file__).parent, seams=())
+        assert fs == []
+
+    def test_wallclock_lives_in_the_bench_seam(self):
+        # The one legitimate wall-clock import site for CLI/gate code.
+        import repro.bench.wallclock as wc
+
+        assert "bench" in Path(wc.__file__).parts

@@ -1,8 +1,14 @@
-"""Unit tests for the embedded metrics registry."""
+"""Unit tests for the metrics registry, via the cluster compat shim.
+
+The registry itself lives in ``repro.obs.metrics`` now (where the
+gauge/merge/Prometheus behaviour is tested); importing through
+``repro.cluster.metrics`` here keeps the compatibility re-export under
+test.
+"""
 
 import pytest
 
-from repro.cluster.metrics import Counter, Histogram, MetricsRegistry
+from repro.cluster.metrics import Counter, Gauge, Histogram, MetricsRegistry
 
 
 class TestCounter:
@@ -41,8 +47,20 @@ class TestHistogram:
         h = Histogram("lat")
         h.observe(0.5)
         snap = h.snapshot()
-        assert set(snap) == {"count", "sum", "mean", "p50", "p95", "p99"}
+        assert set(snap) == {"count", "sum", "mean", "p50", "p95", "p99",
+                             "base", "buckets"}
         assert snap["count"] == 1
+        # buckets expose the mergeable state: counts sum to the total.
+        assert sum(snap["buckets"]) == 1
+        assert snap["base"] == h.base
+
+    def test_zero_observation_reports_base_not_zero(self):
+        # Bucket 0 holds everything <= base, including exactly 0; its
+        # upper edge is base, so an all-zeros stream reports p50 == base.
+        h = Histogram("lat", base=1e-4)
+        h.observe(0.0)
+        assert h.quantile(0.5) == pytest.approx(1e-4)
+        assert h.snapshot()["p50"] == pytest.approx(1e-4)
 
     def test_rejects_negative_observation(self):
         with pytest.raises(ValueError):
@@ -84,3 +102,21 @@ class TestRegistry:
         b.counter("y").inc(1)
         merged = MetricsRegistry.merge([a.snapshot(), b.snapshot()])
         assert merged["counters"] == {"x": 7, "y": 1}
+
+    def test_merge_keeps_histograms(self):
+        # Regression: merge() used to drop histograms entirely.
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for v in (0.001, 0.002):
+            a.histogram("lat").observe(v)
+        b.histogram("lat").observe(0.004)
+        merged = MetricsRegistry.merge([a.snapshot(), b.snapshot()])
+        lat = merged["histograms"]["lat"]
+        assert lat["count"] == 3
+        assert lat["sum"] == pytest.approx(0.007)
+        assert "caveat" in lat  # cross-node quantile caveat survives
+
+    def test_gauge_reexported(self):
+        g = Gauge("depth")
+        g.set(3)
+        g.dec()
+        assert g.value == 2.0

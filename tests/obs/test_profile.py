@@ -1,0 +1,123 @@
+"""Engine profiling spans: XOR accounting, cache outcomes, rates --
+and the acceptance check that traced XOR counts equal audited ones."""
+
+import pytest
+
+from repro.analysis.static.audit import analyze_geometry
+from repro.codes import make_code
+from repro.obs.profile import finalize_rates, schedule_span
+from repro.obs.tracing import Span, Tracer, use_tracer
+
+
+class TestFinalizeRates:
+    def _span(self, duration, **attrs):
+        s = Span(name="x", span_id=0, parent_id=None, start=0.0,
+                 duration=duration, attrs=attrs)
+        finalize_rates(s)
+        return s
+
+    def test_rates_from_duration(self):
+        s = self._span(0.5, xors=1_000_000, bytes=10**9)
+        assert s.attrs["mxors_per_s"] == pytest.approx(2.0)
+        assert s.attrs["gbps"] == pytest.approx(2.0)
+
+    def test_no_rates_without_elapsed_time(self):
+        # Logical clocks / frozen virtual time: duration 0 or None.
+        for d in (0.0, None):
+            s = self._span(d, xors=100, bytes=100)
+            assert "mxors_per_s" not in s.attrs
+            assert "gbps" not in s.attrs
+
+    def test_no_rates_without_work_attrs(self):
+        s = self._span(0.5)
+        assert set(s.attrs) == set()
+
+
+class TestScheduleSpan:
+    def test_span_attrs_and_cache(self):
+        t = Tracer()
+        with schedule_span(t, "code.encode", code="lib", xors=220, ops=242,
+                           nbytes=4096, cache="miss", k=11):
+            pass
+        (s,) = t.spans
+        assert s.name == "code.encode"
+        assert s.attrs["xors"] == 220
+        assert s.attrs["ops"] == 242
+        assert s.attrs["bytes"] == 4096
+        assert s.attrs["cache"] == "miss"
+        assert s.attrs["k"] == 11
+
+    def test_cache_omitted_when_none(self):
+        t = Tracer()
+        with schedule_span(t, "engine.compile", code="lib", xors=1, ops=1,
+                           nbytes=8):
+            pass
+        assert "cache" not in t.spans[0].attrs
+
+
+class TestEngineIntegration:
+    def test_encode_cache_miss_then_hits(self):
+        code = make_code("liberation-optimal", 4, p=5, element_size=64)
+        buf = code.alloc_stripe()
+        t = Tracer()
+        with use_tracer(t):
+            for _ in range(3):
+                code.encode(buf)
+        encodes = t.find("code.encode")
+        assert [s.attrs["cache"] for s in encodes] == ["miss", "hit", "hit"]
+        # The miss's compile shows up as a child span with the same op
+        # accounting the analyzer audits.
+        (compile_span,) = t.find("engine.compile")
+        assert compile_span.parent_id == encodes[0].span_id
+        assert compile_span.attrs["xors"] == encodes[0].attrs["xors"]
+
+    def test_decode_plan_cache_policy_is_visible(self):
+        # The optimal code caches decode plans; the Jerasure-like
+        # baseline rebuilds per call *by design* -- the spans show it.
+        t = Tracer()
+        with use_tracer(t):
+            for name, want in (("liberation-optimal", ["miss", "hit"]),
+                               ("liberation-original", ["miss", "miss"])):
+                code = make_code(name, 4, p=5, element_size=64)
+                buf = code.alloc_stripe()
+                code.encode(buf)
+                for _ in range(2):
+                    work = buf.copy()
+                    work[0] = 0
+                    work[1] = 0
+                    code.decode(work, (0, 1))
+                got = [s.attrs["cache"] for s in t.find("code.decode")
+                       if s.attrs["code"] == name]
+                assert got == want, name
+
+    def test_traced_encode_xors_match_the_audited_count(self):
+        """Acceptance: the liberation-optimal encode span at p=11
+        reports exactly the XOR count `repro analyze` proves optimal."""
+        p = 11
+        audited = analyze_geometry("liberation-optimal", p, p, patterns=[])
+        code = make_code("liberation-optimal", p, p=p, element_size=64)
+        buf = code.alloc_stripe()
+        t = Tracer()
+        with use_tracer(t):
+            code.encode(buf)
+        (span,) = t.find("code.encode")
+        assert span.attrs["xors"] == audited["encode"]["n_xors"]
+        # And the audited count meets the paper's bound: 2w(k-1) XORs.
+        assert span.attrs["xors"] == 2 * p * (p - 1)
+
+    def test_decode_hit_spans_report_stats_without_rebuild(self):
+        code = make_code("liberation-optimal", 4, p=5, element_size=64)
+        buf = code.alloc_stripe()
+        code.encode(buf)
+        # Warm the plan cache with tracing disabled, then trace a hit.
+        work = buf.copy()
+        work[2] = 0
+        code.decode(work, (2,))
+        t = Tracer()
+        with use_tracer(t):
+            work = buf.copy()
+            work[2] = 0
+            code.decode(work, (2,))
+        (span,) = t.find("code.decode")
+        assert span.attrs["cache"] == "hit"
+        assert span.attrs["xors"] == code.decoding_xors((2,))

@@ -1,0 +1,228 @@
+"""Spans, parenting, exporters, digests, and the zero-overhead guard."""
+
+import json
+import tracemalloc
+
+import pytest
+
+from repro.codes import make_code
+from repro.obs.tracing import (
+    Span,
+    Tracer,
+    active_tracer,
+    set_tracer,
+    spans_to_chrome,
+    spans_to_jsonl,
+    trace_digest,
+    use_tracer,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.sim import VirtualClock
+
+
+class TestTracer:
+    def test_span_records_name_attrs_and_ids(self):
+        t = Tracer()
+        with t.span("work", k=6, code="liberation-optimal") as s:
+            s.set("extra", True)
+        assert [sp.name for sp in t.spans] == ["work"]
+        assert s.attrs == {"k": 6, "code": "liberation-optimal", "extra": True}
+        assert s.span_id == 0 and s.parent_id is None
+        assert s.duration is not None
+
+    def test_parenting_is_lexical(self):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+            with t.span("sibling"):
+                pass
+        outer, inner, sibling = t.spans
+        assert inner.parent_id == outer.span_id
+        assert sibling.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_logical_clock_fallback_is_deterministic(self):
+        def run():
+            t = Tracer()
+            with t.span("a"):
+                with t.span("b"):
+                    pass
+            return t.digest()
+
+        assert run() == run()
+
+    def test_injected_virtual_clock(self):
+        clock = VirtualClock()
+        t = Tracer(now=clock.time)
+        with t.span("frozen"):
+            pass  # virtual time does not advance by itself
+        assert t.spans[0].start == 0.0
+        assert t.spans[0].duration == 0.0
+
+    def test_find_and_clear(self):
+        t = Tracer()
+        with t.span("a"):
+            pass
+        with t.span("b"):
+            pass
+        assert [s.name for s in t.find("a")] == ["a"]
+        t.clear()
+        assert t.spans == []
+        with t.span("c") as s:
+            pass
+        assert s.span_id == 0  # ids restart after clear
+
+
+class TestActiveTracer:
+    def test_default_off(self):
+        assert active_tracer() is None
+
+    def test_use_tracer_scopes_and_restores(self):
+        t = Tracer()
+        with use_tracer(t) as got:
+            assert got is t
+            assert active_tracer() is t
+        assert active_tracer() is None
+
+    def test_set_tracer_returns_previous(self):
+        t1, t2 = Tracer(), Tracer()
+        assert set_tracer(t1) is None
+        assert set_tracer(t2) is t1
+        assert set_tracer(None) is t2
+
+
+class TestExporters:
+    def _trace(self):
+        t = Tracer()
+        with t.span("encode", xors=220, code="liberation-optimal"):
+            with t.span("compile", ops=230):
+                pass
+        return t
+
+    def test_jsonl_one_canonical_object_per_line(self):
+        t = self._trace()
+        lines = spans_to_jsonl(t.spans).strip().split("\n")
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["name"] == "encode"
+        assert first["attrs"]["xors"] == 220
+        # Canonical: key-sorted, no whitespace.
+        assert lines[0] == json.dumps(json.loads(lines[0]), sort_keys=True,
+                                      separators=(",", ":"))
+
+    def test_chrome_trace_shape(self):
+        t = self._trace()
+        doc = spans_to_chrome(t.spans, process_name="test")
+        events = doc["traceEvents"]
+        assert events[0]["ph"] == "M"  # process_name metadata
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == 2
+        enc = xs[0]
+        assert enc["name"] == "encode"
+        assert enc["args"]["xors"] == 220
+        assert enc["args"]["span_id"] == 0
+        assert {"pid", "tid", "ts", "dur"} <= set(enc)
+
+    def test_writers_round_trip(self, tmp_path):
+        t = self._trace()
+        jl = write_jsonl(tmp_path / "t.jsonl", t.spans)
+        ch = write_chrome_trace(tmp_path / "t.json", t.spans)
+        assert len(jl.read_text().strip().split("\n")) == 2
+        loaded = json.loads(ch.read_text())
+        assert "traceEvents" in loaded
+
+    def test_digest_is_canonical(self):
+        t = self._trace()
+        assert t.digest() == trace_digest(t.spans)
+        assert t.digest() != trace_digest(t.spans[:1])
+
+    def test_open_span_exports_with_null_duration(self):
+        s = Span(name="open", span_id=0, parent_id=None, start=1.0)
+        assert json.loads(spans_to_jsonl([s]))["duration"] is None
+        assert spans_to_chrome([s])["traceEvents"][1]["dur"] == 0.0
+
+
+class TestDisabledOverhead:
+    def test_disabled_tracing_allocates_nothing_in_obs(self):
+        """The hot-path contract: with no active tracer, encode touches
+        the obs layer only through one ``active_tracer()`` global read
+        -- no span objects, no dicts, no allocations in obs files."""
+        import repro.obs.profile as profile_mod
+        import repro.obs.tracing as tracing_mod
+
+        assert active_tracer() is None
+        code = make_code("liberation-optimal", 4, p=5, element_size=64)
+        buf = code.alloc_stripe()
+        code.encode(buf)  # warm the plan cache outside the snapshot
+
+        obs_filter = tracemalloc.Filter(
+            True, tracing_mod.__file__
+        ), tracemalloc.Filter(True, profile_mod.__file__)
+        tracemalloc.start()
+        try:
+            for _ in range(50):
+                code.encode(buf)
+            snap = tracemalloc.take_snapshot().filter_traces(obs_filter)
+        finally:
+            tracemalloc.stop()
+        assert sum(s.size for s in snap.statistics("filename")) == 0
+
+    def test_enabled_tracing_records_the_same_encodes(self):
+        code = make_code("liberation-optimal", 4, p=5, element_size=64)
+        buf = code.alloc_stripe()
+        t = Tracer()
+        with use_tracer(t):
+            for _ in range(3):
+                code.encode(buf)
+        assert len(t.find("code.encode")) == 3
+
+
+def test_span_start_order_is_record_order():
+    t = Tracer()
+    with t.span("first"):
+        with t.span("second"):
+            pass
+    with t.span("third"):
+        pass
+    assert [s.span_id for s in t.spans] == [0, 1, 2]
+    starts = [s.start for s in t.spans]
+    assert starts == sorted(starts)
+
+
+def test_virtual_clock_spans_carry_virtual_durations():
+    import asyncio
+
+    clock = VirtualClock()
+    t = Tracer(now=clock.time)
+
+    async def work():
+        with t.span("sleepy"):
+            await clock.sleep(1.5)
+
+    asyncio.run(work())
+    assert t.spans[0].duration == pytest.approx(1.5)
+
+
+def test_contextvar_parenting_survives_task_switches():
+    """Two concurrent tasks each see their own current span, so the
+    interleaved children parent correctly (the asyncio-safety claim)."""
+    import asyncio
+
+    clock = VirtualClock()
+    t = Tracer(now=clock.time)
+
+    async def worker(name, delay):
+        with t.span(f"outer.{name}"):
+            await clock.sleep(delay)
+            with t.span(f"inner.{name}"):
+                await clock.sleep(delay)
+
+    async def main():
+        await asyncio.gather(worker("a", 1.0), worker("b", 1.5))
+
+    asyncio.run(main())
+    by_name = {s.name: s for s in t.spans}
+    assert by_name["inner.a"].parent_id == by_name["outer.a"].span_id
+    assert by_name["inner.b"].parent_id == by_name["outer.b"].span_id

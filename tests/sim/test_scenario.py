@@ -71,3 +71,42 @@ def test_virtual_time_advances_under_faults():
             break
     else:  # pragma: no cover - seed menu guarantees a faulty campaign
         pytest.fail("no seed in the menu produced a faulty campaign")
+
+
+class TestScenarioTracing:
+    """Span traces are a pure function of the seed, like the op trace."""
+
+    def test_same_seed_same_span_digest(self):
+        from repro.obs.tracing import Tracer
+
+        sc = generate_scenario(1)
+        digests, op_digests = [], []
+        for _ in range(2):
+            tracer = Tracer()
+            result = run_scenario(sc, tracer=tracer)
+            digests.append(tracer.digest())
+            op_digests.append(result.digest)
+            assert tracer.spans, "a traced campaign must record spans"
+        assert digests[0] == digests[1]
+        assert op_digests[0] == op_digests[1]
+
+    def test_tracing_does_not_perturb_the_op_digest(self):
+        from repro.obs.tracing import Tracer
+
+        sc = generate_scenario(7)
+        untraced = run_scenario(sc)
+        traced = run_scenario(sc, tracer=Tracer())
+        assert traced.digest == untraced.digest
+
+    def test_spans_ride_the_virtual_clock(self):
+        from repro.obs.tracing import Tracer
+
+        sc = generate_scenario(1)
+        tracer = Tracer()
+        result = run_scenario(sc, tracer=tracer)
+        # Every span timestamp lies inside the campaign's virtual window.
+        assert all(0.0 <= s.start <= result.virtual_end for s in tracer.spans)
+        names = {s.name for s in tracer.spans}
+        assert "rpc.put" in names and "node.put" in names
+        # Engine spans land too: the active tracer covers the op loop.
+        assert "code.encode" in names

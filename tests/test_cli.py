@@ -236,3 +236,38 @@ class TestRoundTripProperty:
             out = tmp_path / f"o{trial}.bin"
             assert main(["decode", str(manifest), "-o", str(out)]) == 0
             assert out.read_bytes() == src.read_bytes(), (trial, size, k, victims)
+
+
+class TestTrace:
+    """`repro trace`: Chrome trace_event JSON with audited XOR counts."""
+
+    def test_trace_writes_chrome_json(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        jsonl = tmp_path / "trace.jsonl"
+        rc = main(["trace", "--k", "11", "--p", "11", "--element-size", "64",
+                   "--erasures", "0,1", "--out", str(out),
+                   "--jsonl", str(jsonl)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        events = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert events, "trace must contain complete events"
+        # Acceptance: the liberation-optimal encode span reports exactly
+        # the audited XOR count (2w(k-1) = 220 at p = k = 11).
+        encodes = [e for e in events
+                   if e["name"] == "code.encode"
+                   and e["args"].get("code") == "liberation-optimal"]
+        assert encodes and all(e["args"]["xors"] == 220 for e in encodes)
+        # Both families appear, so the comparison is in one timeline.
+        assert {e["args"].get("code") for e in events if "code" in e["args"]} \
+            == {"liberation-optimal", "liberation-original"}
+        assert len(jsonl.read_text().strip().split("\n")) == len(events)
+        assert "trace digest:" in capsys.readouterr().out
+
+    def test_trace_leaves_no_tracer_behind(self, tmp_path):
+        from repro.obs.tracing import active_tracer
+
+        assert main(["trace", "--k", "4", "--p", "5", "--element-size", "64",
+                     "--out", str(tmp_path / "t.json")]) == 0
+        assert active_tracer() is None
