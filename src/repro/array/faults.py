@@ -42,6 +42,10 @@ class NetworkFaultPlan:
 
     #: seconds of artificial service delay per data request
     latency: float = 0.0
+    #: how many data requests the latency applies to: ``0`` means every
+    #: one (the historical behaviour), ``n > 0`` only the next ``n``
+    #: (a transient slow spell -- what hedged reads are for)
+    slow_requests: int = 0
     #: reply with an ``io-error`` instead of serving
     fail_requests: int = 0
     #: close the connection after sending half of the reply frame
@@ -59,10 +63,28 @@ class NetworkFaultPlan:
             setattr(self, kind, budget - 1)
         return True
 
+    def latency_applies(self) -> bool:
+        """Whether this data request pays the latency penalty.
+
+        With ``slow_requests == 0`` latency is unconditional; a positive
+        budget slows only that many requests (hedge fodder).  When the
+        budget runs out the slow spell is over: the latency clears
+        itself, rather than reverting to unconditional.
+        """
+        if self.slow_requests == 0:
+            return True
+        if self.slow_requests > 0:
+            self.slow_requests -= 1
+            if self.slow_requests == 0:
+                self.latency = 0.0  # spell spent
+            return True
+        return True  # ALWAYS
+
     def to_header(self) -> dict:
         """Wire form for the ``fault`` verb."""
         return {
             "latency": self.latency,
+            "slow_requests": self.slow_requests,
             "fail_requests": self.fail_requests,
             "drop_mid_frame": self.drop_mid_frame,
             "corrupt_frames": self.corrupt_frames,
@@ -72,6 +94,7 @@ class NetworkFaultPlan:
     def from_header(cls, header: dict) -> "NetworkFaultPlan":
         return cls(
             latency=float(header.get("latency", 0.0)),
+            slow_requests=int(header.get("slow_requests", 0)),
             fail_requests=int(header.get("fail_requests", 0)),
             drop_mid_frame=int(header.get("drop_mid_frame", 0)),
             corrupt_frames=int(header.get("corrupt_frames", 0)),

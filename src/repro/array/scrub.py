@@ -9,6 +9,7 @@ locator fall back to detect-only reporting.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 from repro.array.raid6 import RAID6Array
@@ -16,6 +17,8 @@ from repro.codes.liberation import LiberationCode
 from repro.core.error_correction import ScanStatus, locate_and_correct
 
 __all__ = ["ScrubReport", "Scrubber"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -26,6 +29,10 @@ class ScrubReport:
     stripes_clean: int = 0
     stripes_corrected: int = 0
     stripes_uncorrectable: int = 0
+    #: True when the array's code has no single-column locator, so the
+    #: pass could only *detect* corruption: every parity mismatch is
+    #: counted under ``stripes_uncorrectable`` without a repair attempt.
+    detect_only_fallback: bool = False
     corrected: list[tuple[int, int]] = field(default_factory=list)  # (stripe, column)
     uncorrectable: list[int] = field(default_factory=list)  # stripe ids
 
@@ -41,6 +48,12 @@ class Scrubber:
         self.array = array
         code = array.code
         self._can_locate = isinstance(code, LiberationCode)
+        if not self._can_locate:
+            logger.warning(
+                "code %r has no single-column error locator; scrub passes "
+                "will detect corruption but cannot repair it",
+                code.name,
+            )
 
     def scrub(self, *, repair: bool = True) -> ScrubReport:
         """One full pass over all stripes.
@@ -50,7 +63,7 @@ class Scrubber:
         it (or for codes lacking a locator) corruption is only counted.
         """
         arr, code = self.array, self.array.code
-        report = ScrubReport()
+        report = ScrubReport(detect_only_fallback=not self._can_locate)
         for stripe in range(arr.layout.n_stripes):
             buf = arr.read_stripe(stripe)
             report.stripes_scanned += 1

@@ -24,6 +24,8 @@ here too:
 
     python -m repro.cli serve --column 0 --stripes 64 --k 4   # one per column
     python -m repro.cli stats 127.0.0.1:9100 127.0.0.1:9101   # metrics view
+    python -m repro.cli cluster scrub 127.0.0.1:9100 ... --stripes 64
+    python -m repro.cli cluster heal 127.0.0.1:9100 ... --rebuild 2 --spare 127.0.0.1:9200
 
 And the deterministic simulation / differential-fuzzing harness
 (:mod:`repro.sim`):
@@ -471,6 +473,7 @@ def cmd_sim_fuzz(args) -> int:
         max_cases=args.cases,
         time_budget=args.duration,
         shrink=not args.no_shrink,
+        chaos=args.chaos,
         on_progress=progress,
     )
     if failure is None:
@@ -501,7 +504,7 @@ def cmd_sim_replay(args) -> int:
 def cmd_sim_run(args) -> int:
     from repro.sim.scenario import generate_scenario, run_scenario
 
-    scenario = generate_scenario(args.seed)
+    scenario = generate_scenario(args.seed, chaos=args.chaos)
     result = run_scenario(scenario)
     print(f"scenario seed={args.seed}: {scenario.code} k={scenario.k} "
           f"p={scenario.p} element={scenario.element_size}B "
@@ -512,6 +515,83 @@ def cmd_sim_run(args) -> int:
     print(f"virtual time: {result.virtual_end:.6f}s")
     print(f"trace digest: {result.digest}")
     return 0
+
+
+def _cluster_array(args):
+    from repro.cluster.client import ClusterArray, RetryPolicy
+
+    addresses = [_parse_address(spec) for spec in args.nodes]
+    k = len(addresses) - 2
+    if k < 2:
+        raise SystemExit("error: a cluster needs at least 4 nodes (k >= 2 plus P, Q)")
+    code = make_code(args.code, k, element_size=args.element_size,
+                     **({"p": args.p} if args.p else {}))
+    policy = RetryPolicy(timeout=args.timeout)
+    return ClusterArray(code, addresses, args.stripes, policy=policy)
+
+
+def cmd_cluster_scrub(args) -> int:
+    from repro.cluster.scrub import ClusterScrubber
+
+    async def run() -> int:
+        array = _cluster_array(args)
+        scrubber = ClusterScrubber(array, window=args.window)
+        report = await scrubber.scrub(repair=not args.detect_only, deep=args.deep)
+        mode = "deep" if args.deep else "fast-path"
+        print(f"scrub pass ({mode}): {report.stripes_scanned} stripes scanned, "
+              f"{report.stripes_clean} clean "
+              f"({report.fast_path_hits} settled by CRC probe)")
+        for stripe, column in report.corrected:
+            print(f"  corrected: stripe {stripe} column {column}")
+        for stripe in report.detected_only:
+            print(f"  detected only (no repair): stripe {stripe}")
+        for stripe in report.deferred:
+            print(f"  deferred (column unreachable): stripe {stripe}")
+        for stripe in report.uncorrectable:
+            print(f"  UNCORRECTABLE: stripe {stripe}")
+        print("array healthy" if report.healthy
+              else "array NOT healthy -- see stripes above")
+        return 0 if report.healthy else 1
+
+    return asyncio.run(run())
+
+
+def cmd_cluster_heal(args) -> int:
+    from repro.bench.report import format_table
+    from repro.cluster.health import HealthMonitor
+    from repro.cluster.rebuild import RebuildScheduler
+
+    if (args.rebuild is None) != (args.spare is None):
+        raise SystemExit("error: --rebuild and --spare go together")
+
+    async def run() -> int:
+        array = _cluster_array(args)
+        monitor = HealthMonitor(
+            array, miss_threshold=args.probes, probe_timeout=args.timeout
+        )
+        for _ in range(args.probes):
+            await monitor.probe_once()
+        rows = [
+            {
+                "column": entry["column"],
+                "state": "FAILED" if entry["failed"]
+                else ("missing" if entry["misses"] else "alive"),
+                "misses": entry["misses"],
+                "breaker": entry["breaker"],
+            }
+            for entry in monitor.status()["columns"]
+        ]
+        print(format_table(rows, title=f"column health after {args.probes} probes"))
+        if args.rebuild is not None:
+            spare = _parse_address(args.spare)
+            print(f"rebuilding column {args.rebuild} onto {args.spare}...")
+            done = await RebuildScheduler(array).rebuild_column(args.rebuild, spare)
+            print(f"rebuilt {done} stripes; column {args.rebuild} now served by "
+                  f"{args.spare}")
+            return 0
+        return 0 if not any(monitor.failed) else 1
+
+    return asyncio.run(run())
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -634,6 +714,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write the raw failing case without minimising")
     fz.add_argument("--progress-every", type=int, default=0,
                     help="print a heartbeat every N cases")
+    fz.add_argument("--chaos", action="store_true",
+                    help="include self-healing ops (scrub/heal/2PC crash "
+                         "injection) in generated scenarios")
     fz.set_defaults(func=cmd_sim_fuzz)
 
     rp = sim_sub.add_parser("replay", help="re-run a recorded repro file")
@@ -643,7 +726,49 @@ def build_parser() -> argparse.ArgumentParser:
     rn = sim_sub.add_parser("run", help="run one seeded scenario, print digest")
     rn.add_argument("--seed", type=int, default=0)
     rn.add_argument("--trace", action="store_true", help="print per-op trace")
+    rn.add_argument("--chaos", action="store_true",
+                    help="generate the scenario with the self-healing op set")
     rn.set_defaults(func=cmd_sim_run)
+
+    cl = sub.add_parser("cluster", help="operate a running stripe cluster")
+    cl_sub = cl.add_subparsers(dest="cluster_command", required=True)
+
+    sc = cl_sub.add_parser(
+        "scrub", help="verify (and repair) every stripe of a live cluster"
+    )
+    sc.add_argument("nodes", nargs="+", metavar="HOST:PORT",
+                    help="one address per column, in column order (k+2 total)")
+    sc.add_argument("--stripes", type=int, default=64, help="stripes stored")
+    sc.add_argument("--p", type=int, default=None, help="prime (default: minimal)")
+    sc.add_argument("--code", default="liberation-optimal", choices=available_codes())
+    sc.add_argument("--element-size", type=int, default=4096)
+    sc.add_argument("--window", type=int, default=8,
+                    help="stripes verified concurrently (default 8)")
+    sc.add_argument("--deep", action="store_true",
+                    help="skip the CRC fast path; fetch and verify every stripe")
+    sc.add_argument("--detect-only", action="store_true",
+                    help="report damage without writing repairs back")
+    sc.add_argument("--timeout", type=float, default=2.0)
+    sc.set_defaults(func=cmd_cluster_scrub)
+
+    hl = cl_sub.add_parser(
+        "heal", help="probe column health; optionally rebuild onto a spare"
+    )
+    hl.add_argument("nodes", nargs="+", metavar="HOST:PORT",
+                    help="one address per column, in column order (k+2 total)")
+    hl.add_argument("--stripes", type=int, default=64, help="stripes stored")
+    hl.add_argument("--p", type=int, default=None, help="prime (default: minimal)")
+    hl.add_argument("--code", default="liberation-optimal", choices=available_codes())
+    hl.add_argument("--element-size", type=int, default=4096)
+    hl.add_argument("--probes", type=int, default=3,
+                    help="heartbeat rounds before a column counts as failed")
+    hl.add_argument("--timeout", type=float, default=0.5,
+                    help="per-probe timeout in seconds (default 0.5)")
+    hl.add_argument("--rebuild", type=int, default=None, metavar="COLUMN",
+                    help="rebuild this column onto --spare after probing")
+    hl.add_argument("--spare", default=None, metavar="HOST:PORT",
+                    help="blank replacement node for --rebuild")
+    hl.set_defaults(func=cmd_cluster_heal)
     return parser
 
 

@@ -15,6 +15,12 @@ Modules:
 * :mod:`repro.cluster.node` -- the per-column strip server;
 * :mod:`repro.cluster.client` -- retrying RPC + the striped array;
 * :mod:`repro.cluster.rebuild` -- background batch rebuild;
+* :mod:`repro.cluster.scrub` -- distributed scrub & repair (the
+  paper's single-column locator, applied over the wire);
+* :mod:`repro.cluster.health` -- heartbeats, circuit breakers and
+  automatic fail-to-rebuilt healing;
+* :mod:`repro.cluster.txn` -- atomic stripe updates via two-phase
+  commit (the distributed write-hole fix);
 * :mod:`repro.cluster.metrics` -- counters/histograms behind the
   ``stats`` verb and the ``repro stats`` CLI view;
 * :mod:`repro.cluster.local` -- an in-process ``k + 2``-node cluster
@@ -31,9 +37,10 @@ from repro.cluster.client import (
     RetryPolicy,
     send_verb,
 )
+from repro.cluster.health import BreakerState, CircuitBreaker, HealthMonitor
 from repro.cluster.local import LocalCluster
 from repro.cluster.metrics import Counter, Histogram, MetricsRegistry
-from repro.cluster.node import StripNode
+from repro.cluster.node import NodeCrashPlan, NodeCrashed, StripNode
 from repro.cluster.protocol import (
     FrameChecksumError,
     ProtocolError,
@@ -42,23 +49,35 @@ from repro.cluster.protocol import (
     write_frame,
 )
 from repro.cluster.rebuild import RebuildScheduler
+from repro.cluster.scrub import ClusterScrubReport, ClusterScrubber
+from repro.cluster.txn import ClientCrash, TwoPhaseWriter, TxnCrashPoint
 
 __all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "ClientCrash",
     "ClusterArray",
     "ClusterDegradedError",
     "ClusterError",
+    "ClusterScrubReport",
+    "ClusterScrubber",
     "Counter",
     "FrameChecksumError",
+    "HealthMonitor",
     "Histogram",
     "LocalCluster",
     "MetricsRegistry",
     "NodeClient",
+    "NodeCrashPlan",
+    "NodeCrashed",
     "NodeUnavailableError",
     "ProtocolError",
     "RebuildScheduler",
     "RemoteDiskError",
     "RetryPolicy",
     "StripNode",
+    "TwoPhaseWriter",
+    "TxnCrashPoint",
     "encode_frame",
     "read_frame",
     "send_verb",

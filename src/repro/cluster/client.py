@@ -24,6 +24,7 @@ points in ``asyncio.run``.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import random
 from dataclasses import dataclass
 
@@ -107,19 +108,34 @@ async def send_verb(
     payload: bytes = b"",
     *,
     transport: Transport | None = None,
+    timeout: float | None = 5.0,
+    clock: Clock | None = None,
 ) -> tuple[dict, bytes]:
-    """One-shot request with no retry (control-plane helper)."""
+    """One-shot request with no retry (control-plane helper).
+
+    ``timeout`` bounds the whole exchange (connect + request + reply)
+    so a hung node cannot stall control-plane callers forever; pass
+    ``None`` to wait indefinitely.  The timer runs on ``clock`` so
+    simulated callers time out in virtual seconds.
+    """
     transport = transport if transport is not None else AsyncioTransport()
-    reader, writer = await transport.connect(address)
-    try:
-        await write_frame(writer, {"verb": verb, **(header or {})}, payload)
-        return await read_frame(reader)
-    finally:
-        writer.close()
+    clock = clock if clock is not None else RealClock()
+
+    async def exchange() -> tuple[dict, bytes]:
+        reader, writer = await transport.connect(address)
         try:
-            await writer.wait_closed()
-        except (ConnectionError, OSError):
-            pass
+            await write_frame(writer, {"verb": verb, **(header or {})}, payload)
+            return await read_frame(reader)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    if timeout is None:
+        return await exchange()
+    return await clock.wait_for(exchange(), timeout)
 
 
 class NodeClient:
@@ -135,6 +151,7 @@ class NodeClient:
         clock: Clock | None = None,
         rng: random.Random | None = None,
         tracer: Tracer | None = None,
+        hedge_after: float | None = None,
     ) -> None:
         self.address = (str(address[0]), int(address[1]))
         self.policy = policy or RetryPolicy()
@@ -143,6 +160,11 @@ class NodeClient:
         self.clock = clock if clock is not None else RealClock()
         self.rng = rng
         self.tracer = tracer
+        #: launch a duplicate request after this many seconds without a
+        #: reply and take whichever finishes first (tail-latency hedge);
+        #: None disables.  Safe because every verb is idempotent -- the
+        #: retry loop already requires that.
+        self.hedge_after = hedge_after
 
     async def _attempt(self, header: dict, payload: bytes) -> tuple[dict, bytes]:
         reader, writer = await self.transport.connect(self.address)
@@ -165,17 +187,70 @@ class NodeClient:
         answers and :class:`NodeUnavailableError` once the retry budget
         is exhausted by transport-level failures.
         """
+        issue = (
+            self._request_with_retries if self.hedge_after is None else self._hedged
+        )
         if self.tracer is None:
-            return await self._request_with_retries(verb, header, payload)
+            return await issue(verb, header, payload)
         with self.tracer.span(f"rpc.{verb}", bytes_out=len(payload)) as span:
             try:
-                reply, data = await self._request_with_retries(verb, header, payload)
+                reply, data = await issue(verb, header, payload)
             except ClusterError as exc:
                 span.set("outcome", type(exc).__name__)
                 raise
             span.set("outcome", "ok")
             span.set("bytes_in", len(data))
             return reply, data
+
+    async def _hedged(
+        self, verb: str, header: dict | None, payload: bytes
+    ) -> tuple[dict, bytes]:
+        """Issue the request; past ``hedge_after`` seconds, race a twin.
+
+        The winner is the first attempt to *succeed*; a lone failure
+        waits for its sibling, and only when both fail does the first
+        error propagate.  Losers are cancelled (their connection drops,
+        which the node handles like any peer departure).
+        """
+        first = asyncio.ensure_future(
+            self._request_with_retries(verb, header, payload)
+        )
+        timer = asyncio.ensure_future(self.clock.sleep(self.hedge_after))
+        try:
+            await asyncio.wait({first, timer}, return_when=asyncio.FIRST_COMPLETED)
+        finally:
+            timer.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await timer
+        if first.done():
+            return first.result()  # fast path: no hedge needed
+        self.metrics.counter("hedged_requests").inc()
+        second = asyncio.ensure_future(
+            self._request_with_retries(verb, header, payload)
+        )
+        attempts = (first, second)  # fixed preference order: deterministic
+        first_error: BaseException | None = None
+        while True:
+            pending = [t for t in attempts if not t.done()]
+            if not pending:
+                break
+            await asyncio.wait(pending, return_when=asyncio.FIRST_COMPLETED)
+            for task in attempts:
+                if task.done() and task.exception() is None:
+                    for loser in attempts:
+                        if not loser.done():
+                            loser.cancel()
+                            with contextlib.suppress(BaseException):
+                                await loser
+                    if task is second:
+                        self.metrics.counter("hedge_wins").inc()
+                    return task.result()
+        for task in attempts:
+            if task.exception() is not None:
+                first_error = task.exception()
+                break
+        assert first_error is not None
+        raise first_error
 
     async def _request_with_retries(
         self, verb: str, header: dict | None, payload: bytes
@@ -241,6 +316,7 @@ class ClusterArray:
         clock: Clock | None = None,
         rng: random.Random | None = None,
         tracer: Tracer | None = None,
+        hedge_after: float | None = None,
     ) -> None:
         if len(addresses) != code.n_cols:
             raise ValueError(
@@ -256,7 +332,14 @@ class ClusterArray:
         self.clock = clock if clock is not None else RealClock()
         self.rng = rng
         self.tracer = tracer
+        self.hedge_after = hedge_after
         self.clients = [self._make_client(addr) for addr in addresses]
+        #: per-column circuit breakers, installed by
+        #: :class:`repro.cluster.health.HealthMonitor`; None = no gating
+        self.breakers: list | None = None
+        #: stripes whose last write skipped columns -- the scrubber's
+        #: priority queue (stripe -> set of stale columns)
+        self.dirty_stripes: dict[int, set[int]] = {}
 
     def _make_client(self, address: tuple[str, int]) -> NodeClient:
         return NodeClient(
@@ -267,6 +350,7 @@ class ClusterArray:
             clock=self.clock,
             rng=self.rng,
             tracer=self.tracer,
+            hedge_after=self.hedge_after,
         )
 
     # -- geometry ----------------------------------------------------------
@@ -285,13 +369,50 @@ class ClusterArray:
             raise IndexError(f"stripe {stripe} out of range [0, {self.n_stripes})")
 
     def replace_node(self, column: int, address: tuple[str, int]) -> None:
-        """Point a column at a replacement node (post-rebuild)."""
+        """Point a column at a replacement node (post-rebuild).
+
+        Any circuit-breaker state belongs to the *old* node, so the
+        column's breaker resets -- otherwise a freshly rebuilt column
+        would stay short-circuited for the rest of the cooldown.
+        """
         self.clients[column] = self._make_client(address)
+        if self.breakers is not None:
+            self.breakers[column].record_success()
 
     # -- strip RPCs --------------------------------------------------------
 
+    async def _column_request(
+        self, column: int, verb: str, header: dict | None = None, payload: bytes = b""
+    ) -> tuple[dict, bytes]:
+        """Data-plane RPC to one column, gated by its circuit breaker.
+
+        An open breaker short-circuits to :class:`NodeUnavailableError`
+        without touching the wire; outcomes feed back so the breaker
+        sees every probe.  :class:`RemoteDiskError` counts as a
+        *success* -- the node answered, its disk is the problem.
+        """
+        breaker = self.breakers[column] if self.breakers is not None else None
+        if breaker is not None and not breaker.allow():
+            self.metrics.counter("breaker_short_circuits").inc()
+            raise NodeUnavailableError(
+                f"column {column}: circuit breaker open"
+            )
+        try:
+            result = await self.clients[column].request(verb, header, payload)
+        except NodeUnavailableError:
+            if breaker is not None:
+                breaker.record_failure()
+            raise
+        except RemoteDiskError:
+            if breaker is not None:
+                breaker.record_success()
+            raise
+        if breaker is not None:
+            breaker.record_success()
+        return result
+
     async def _fetch_strip(self, column: int, stripe: int) -> np.ndarray:
-        _, payload = await self.clients[column].request("get", {"stripe": stripe})
+        _, payload = await self._column_request(column, "get", {"stripe": stripe})
         words = np.frombuffer(payload, dtype=WORD_DTYPE)
         expected = self.code.rows * (self.code.element_size // 8)
         if words.size != expected:
@@ -301,8 +422,8 @@ class ClusterArray:
         return words.reshape(self.code.rows, -1)
 
     async def _store_strip(self, column: int, stripe: int, strip: np.ndarray) -> None:
-        await self.clients[column].request(
-            "put", {"stripe": stripe}, np.ascontiguousarray(strip).tobytes()
+        await self._column_request(
+            column, "put", {"stripe": stripe}, np.ascontiguousarray(strip).tobytes()
         )
 
     async def _gather_columns(
@@ -359,7 +480,9 @@ class ClusterArray:
         Columns whose node cannot be reached are skipped -- degraded
         write semantics -- unless that would leave the stripe beyond
         RAID-6 tolerance, which raises :class:`ClusterDegradedError`.
-        Returns the columns actually written.
+        Returns the columns *skipped* (empty means fully durable), and
+        records them in :attr:`dirty_stripes` so the scrubber repairs
+        the stale columns first once their nodes return.
         """
         self._check_stripe(stripe)
         cols = list(range(self.code.n_cols)) if columns is None else list(columns)
@@ -367,22 +490,23 @@ class ClusterArray:
             *(self._store_strip(c, stripe, buf[c]) for c in cols),
             return_exceptions=True,
         )
-        written: list[int] = []
         skipped: list[int] = []
         for col, res in zip(cols, results):
             if isinstance(res, (NodeUnavailableError, RemoteDiskError)):
                 skipped.append(col)
             elif isinstance(res, BaseException):
                 raise res
-            else:
-                written.append(col)
         if skipped:
             self.metrics.counter("degraded_writes").inc()
             if len(skipped) > 2:
                 raise ClusterDegradedError(
                     f"stripe {stripe}: write lost columns {skipped}"
                 )
-        return written
+            self.dirty_stripes.setdefault(stripe, set()).update(skipped)
+        elif columns is None:
+            # A clean full-stripe write supersedes any stale columns.
+            self.dirty_stripes.pop(stripe, None)
+        return skipped
 
     # -- byte-addressed user I/O -------------------------------------------
 

@@ -88,6 +88,15 @@ class LocalCluster:
         """Take one column's node offline (machine loss)."""
         await self.nodes[column].stop()
 
+    async def restart_node(self, column: int) -> tuple[str, int]:
+        """Bring a stopped node back (reboot after a crash).
+
+        Durable state -- disk contents, intent log, checksum sidecars
+        -- survives in the :class:`StripNode` object; only the
+        listening socket was lost.  Returns the (new) address.
+        """
+        return await self.nodes[column].start()
+
     async def start_replacement(self, column: int) -> tuple[str, int]:
         """Start a blank node for ``column``; returns its address.
 
@@ -110,15 +119,33 @@ class LocalCluster:
 
     # -- convenience -------------------------------------------------------
 
+    def auto_healer(self, array: ClusterArray, **kwargs) -> "HealthMonitor":
+        """A :class:`~repro.cluster.health.HealthMonitor` wired for self-heal.
+
+        Spares come from :meth:`start_replacement`; after each rebuild
+        the replacement is promoted to the column's node of record.
+        Extra ``kwargs`` pass through to the monitor (thresholds,
+        intervals, breaker tuning).
+        """
+        from repro.cluster.health import HealthMonitor
+
+        return HealthMonitor(
+            array,
+            spare_provider=self.start_replacement,
+            on_rebuilt=self.promote_replacement,
+            **kwargs,
+        )
+
     def array(
         self,
         *,
         policy: RetryPolicy | None = None,
         rng: random.Random | None = None,
+        hedge_after: float | None = None,
     ) -> ClusterArray:
         """A :class:`ClusterArray` wired to this cluster's nodes."""
         return ClusterArray(
             self.code, self.addresses, self.n_stripes, policy=policy,
             transport=self.transport, clock=self.clock, rng=rng,
-            tracer=self.tracer,
+            tracer=self.tracer, hedge_after=hedge_after,
         )

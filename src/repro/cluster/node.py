@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import zlib
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -33,10 +35,82 @@ from repro.sim.clock import Clock, RealClock
 from repro.sim.transport import AsyncioTransport, Transport
 from repro.utils.words import WORD_DTYPE
 
-__all__ = ["StripNode"]
+__all__ = ["NodeCrashPlan", "NodeCrashed", "NodeIntent", "StripNode"]
 
-#: Verbs the fault plan applies to; control verbs always get through.
-_DATA_VERBS = frozenset({"get", "put"})
+#: Verbs the fault plan applies to.  Operator verbs (``stats``,
+#: ``fault``, ``shutdown``, ``metrics``) and the recovery plane
+#: (``intents``, ``txn-status``) always get through, so a sick node
+#: stays diagnosable and repairable.
+_DATA_VERBS = frozenset(
+    {"get", "put", "ping", "scrub-read", "prepare", "commit", "abort"}
+)
+
+
+class NodeCrashed(Exception):
+    """Internal signal: a :class:`NodeCrashPlan` trigger fired.
+
+    The dispatch loop translates it into a crash: the connection is
+    dropped without a reply and the node stops serving, while all
+    durable state (disk contents, intent log, transaction outcomes,
+    checksum sidecars) survives in the object -- calling ``start()``
+    again models the machine rebooting.
+    """
+
+
+class NodeCrashPlan:
+    """Deterministic node-side crash triggers for protocol boundaries.
+
+    Each *point* names a position inside a verb handler (e.g.
+    ``commit-before-apply``).  Arming a point with ``after=n`` makes the
+    ``n+1``-th passage through it raise :class:`NodeCrashed`, so tests
+    can sweep every node-side crash position of the two-phase write
+    protocol the way ``tests/array/test_journal.py`` sweeps the local
+    journal's strip writes.
+    """
+
+    #: every point the txn verbs pass through, in protocol order
+    POINTS = (
+        "prepare-before-log",
+        "prepare-before-reply",
+        "commit-before-apply",
+        "commit-before-reply",
+        "abort-before-drop",
+        "abort-before-reply",
+    )
+
+    def __init__(self) -> None:
+        self._armed: dict[str, int] = {}
+
+    def arm(self, point: str, *, after: int = 0) -> None:
+        if point not in self.POINTS:
+            raise ValueError(f"unknown crash point {point!r}")
+        self._armed[point] = int(after)
+
+    def fires(self, point: str) -> bool:
+        """Whether the armed trigger at ``point`` fires on this passage."""
+        if point not in self._armed:
+            return False
+        if self._armed[point] == 0:
+            del self._armed[point]
+            return True
+        self._armed[point] -= 1
+        return False
+
+
+@dataclass
+class NodeIntent:
+    """One logged write intent: the full new image of this node's strip.
+
+    Mirrors :class:`repro.array.journal.JournalRecord` for the
+    distributed protocol: the record is durable from ``prepare`` until
+    ``commit`` applies it (atomically, like a journal retirement) or
+    ``abort`` drops it.
+    """
+
+    txn: str
+    stripe: int
+    words: np.ndarray
+    participants: list[int] = field(default_factory=list)
 
 
 class StripNode:
@@ -62,6 +136,13 @@ class StripNode:
         self.column = int(column)
         self.disk = SimulatedDisk(column, n_strips, strip_words)
         self.faults = NetworkFaultPlan()
+        self.crashes = NodeCrashPlan()
+        #: pending write intents (txn id -> record), durable across crashes
+        self.intents: dict[str, NodeIntent] = {}
+        #: resolved transactions (txn id -> "committed" | "aborted")
+        self.txn_done: dict[str, str] = {}
+        #: per-strip CRC-32 sidecars, refreshed on every applied write
+        self.checksums: dict[int, int] = {}
         self.metrics = MetricsRegistry()
         self.transport = transport if transport is not None else AsyncioTransport()
         self.clock = clock if clock is not None else RealClock()
@@ -147,8 +228,11 @@ class StripNode:
         self.metrics.counter("bytes_in").inc(len(payload))
 
         if verb in _DATA_VERBS:
-            if self.faults.latency:
-                await self.clock.sleep(self.faults.latency)
+            # Capture the delay first: spending the last slow_requests
+            # budget clears plan.latency (the spell is over).
+            delay = self.faults.latency
+            if delay and self.faults.latency_applies():
+                await self.clock.sleep(delay)
             if self.faults.consume("fail_requests"):
                 self.metrics.counter("injected_io_errors").inc()
                 await self._reply(writer, {"status": "err", "error": "io-error",
@@ -157,6 +241,12 @@ class StripNode:
 
         try:
             reply_header, reply_payload = self._serve(verb, header, payload)
+        except NodeCrashed:
+            # Power loss mid-verb: no reply, connection dropped, node
+            # down until restarted.  Durable state survives in `self`.
+            self.metrics.counter("injected_crashes").inc()
+            await self.stop()
+            return False
         except LatentSectorError as exc:
             reply_header, reply_payload = (
                 {"status": "err", "error": "latent", "detail": str(exc)}, b"")
@@ -201,11 +291,36 @@ class StripNode:
             return {"status": "ok", "column": self.column}, b""
         if verb == "put":
             words = np.frombuffer(payload, dtype=WORD_DTYPE)
-            self.disk.write_strip(int(header["stripe"]), words)
+            stripe = int(header["stripe"])
+            self.disk.write_strip(stripe, words)
+            self.checksums[stripe] = zlib.crc32(words.tobytes())
             return {"status": "ok"}, b""
         if verb == "get":
             strip = self.disk.read_strip(int(header["stripe"]))
             return {"status": "ok"}, strip.tobytes()
+        if verb == "scrub-read":
+            return self._serve_scrub_read(header), b""
+        if verb == "prepare":
+            return self._serve_prepare(header, payload), b""
+        if verb == "commit":
+            return self._serve_commit(header), b""
+        if verb == "abort":
+            return self._serve_abort(header), b""
+        if verb == "txn-status":
+            txn = str(header["txn"])
+            state = self.txn_done.get(
+                txn, "pending" if txn in self.intents else "unknown"
+            )
+            return {"status": "ok", "txn": txn, "state": state}, b""
+        if verb == "intents":
+            return {
+                "status": "ok",
+                "column": self.column,
+                "txns": [
+                    {"txn": rec.txn, "stripe": rec.stripe, "part": rec.participants}
+                    for rec in self.intents.values()
+                ],
+            }, b""
         if verb == "stats":
             return {
                 "status": "ok",
@@ -254,6 +369,99 @@ class StripNode:
             "disk_n_strips": float(self.disk.n_strips),
         }
         return to_prometheus(snap, labels={"column": str(self.column)})
+
+    # -- scrub & two-phase-write verbs --------------------------------------
+
+    def _serve_scrub_read(self, header: dict) -> dict:
+        """Checksum probe: compare the strip's sidecar to its contents.
+
+        Lets the scrubber detect node-local bit rot without shipping
+        the strip.  Strips written before sidecars existed (or via
+        direct disk access in tests) get a lazily initialised sidecar on
+        first probe -- pre-existing damage is indistinguishable from
+        original content at that point, exactly like real sidecar
+        adoption.
+        """
+        stripe = int(header["stripe"])
+        strip = self.disk.read_strip(stripe)  # raises latent/disk-failed
+        actual = zlib.crc32(strip.tobytes())
+        stored = self.checksums.setdefault(stripe, actual)
+        if stored != actual:
+            self.metrics.counter("scrub_crc_mismatches").inc()
+        return {
+            "status": "ok",
+            "stripe": stripe,
+            "crc_stored": stored,
+            "crc_actual": actual,
+            "match": stored == actual,
+        }
+
+    def _serve_prepare(self, header: dict, payload: bytes) -> dict:
+        """Phase 1: log the intent (durably) without touching the disk."""
+        txn = str(header["txn"])
+        if self.crashes.fires("prepare-before-log"):
+            raise NodeCrashed(f"prepare({txn}): crashed before logging intent")
+        done = self.txn_done.get(txn)
+        if done is not None:  # late/duplicate prepare after resolution
+            return {"status": "ok", "txn": txn, "state": done}
+        stripe = int(header["stripe"])
+        if not 0 <= stripe < self.disk.n_strips:
+            raise IndexError(f"stripe {stripe} out of range [0, {self.disk.n_strips})")
+        words = np.frombuffer(payload, dtype=WORD_DTYPE).copy()
+        if words.size != self.disk.strip_words:
+            raise ValueError(
+                f"prepare payload {words.size} words != strip {self.disk.strip_words}"
+            )
+        self.intents[txn] = NodeIntent(
+            txn, stripe, words, [int(c) for c in header.get("part", ())]
+        )
+        self.metrics.counter("txn_prepares").inc()
+        if self.crashes.fires("prepare-before-reply"):
+            raise NodeCrashed(f"prepare({txn}): crashed before replying")
+        return {"status": "ok", "txn": txn, "state": "pending"}
+
+    def _serve_commit(self, header: dict) -> dict:
+        """Phase 2: apply the intent image and retire it, atomically.
+
+        Like :class:`~repro.array.journal.StripeJournal` retirement,
+        apply-and-retire is the atomic step of the simulation (real
+        nodes achieve it with a journaled apply): a crash lands either
+        entirely before it (intent still pending, disk old) or entirely
+        after (intent retired, disk new).  Idempotent, so a client that
+        lost the reply can simply resend.
+        """
+        txn = str(header["txn"])
+        done = self.txn_done.get(txn)
+        if done is not None:
+            return {"status": "ok", "txn": txn, "state": done, "applied": False}
+        rec = self.intents.get(txn)
+        if rec is None:
+            return {"status": "ok", "txn": txn, "state": "unknown", "applied": False}
+        if self.crashes.fires("commit-before-apply"):
+            raise NodeCrashed(f"commit({txn}): crashed before applying")
+        self.disk.write_strip(rec.stripe, rec.words)
+        self.checksums[rec.stripe] = zlib.crc32(rec.words.tobytes())
+        del self.intents[txn]
+        self.txn_done[txn] = "committed"
+        self.metrics.counter("txn_commits").inc()
+        if self.crashes.fires("commit-before-reply"):
+            raise NodeCrashed(f"commit({txn}): crashed before replying")
+        return {"status": "ok", "txn": txn, "state": "committed", "applied": True}
+
+    def _serve_abort(self, header: dict) -> dict:
+        """Drop a pending intent; the disk is never touched."""
+        txn = str(header["txn"])
+        done = self.txn_done.get(txn)
+        if done == "committed":  # too late: the decision was commit
+            return {"status": "ok", "txn": txn, "state": done, "applied": False}
+        if self.crashes.fires("abort-before-drop"):
+            raise NodeCrashed(f"abort({txn}): crashed before dropping intent")
+        known = self.intents.pop(txn, None) is not None
+        self.txn_done[txn] = "aborted"
+        self.metrics.counter("txn_aborts").inc()
+        if self.crashes.fires("abort-before-reply"):
+            raise NodeCrashed(f"abort({txn}): crashed before replying")
+        return {"status": "ok", "txn": txn, "state": "aborted", "applied": known}
 
     def _serve_fault(self, header: dict) -> dict:
         """Install network faults and/or trigger disk faults remotely."""

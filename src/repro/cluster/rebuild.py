@@ -106,15 +106,32 @@ class RebuildScheduler:
                 *(fetch(i, col) for i in range(stop - start) for col in survivors)
             )
             also_lost = sorted({col for col in results if col is not None})
-            erasures = sorted({column, *also_lost})
-            if len(erasures) > 2:
-                raise ClusterDegradedError(
-                    f"rebuild window [{start}, {stop}): columns {erasures} lost"
-                )
+            base = {column, *also_lost}
+            # Columns on the dirty list hold *stale* strips: they
+            # answered the fetch, but with pre-degraded-write data.
+            # Folding them into the erasure pattern keeps the rebuild
+            # from baking old bytes into the replacement -- and the
+            # decode recovers their fresh strips as a by-product.
+            patterns: list[tuple[int, ...]] = []
+            for i in range(stop - start):
+                stale = array.dirty_stripes.get(start + i, set())
+                erasures = sorted(base | set(stale))
+                if len(erasures) > 2:
+                    raise ClusterDegradedError(
+                        f"rebuild window [{start}, {stop}): columns {erasures} "
+                        "lost or stale"
+                    )
+                for col in erasures:
+                    batch[i, col] = 0
+                patterns.append(tuple(erasures))
             # The batch decode runs in worker threads (NumPy XOR kernels
             # release the GIL); yield first so queued traffic proceeds.
             await asyncio.sleep(0)
-            self.coder.decode(batch, erasures)
+            if len(set(patterns)) == 1:
+                self.coder.decode(batch, list(patterns[0]))
+            else:  # mixed dirtiness: per-stripe patterns
+                for i, erasures in enumerate(patterns):
+                    code.decode(batch[i], list(erasures))
             await asyncio.gather(
                 *(
                     replacement.request(
@@ -123,7 +140,33 @@ class RebuildScheduler:
                     for i in range(stop - start)
                 )
             )
+            await self._freshen_dirty(start, patterns, batch, column)
             done += stop - start
             metrics.counter("rebuild_stripes_done").inc(stop - start)
         array.replace_node(column, address)
         return done
+
+    async def _freshen_dirty(
+        self, start: int, patterns: list, batch, column: int
+    ) -> None:
+        """Push decoded strips back to stale-but-reachable columns.
+
+        The rebuilt column itself comes off each stripe's dirty set (the
+        replacement got fresh bytes above); other stale columns take a
+        direct rewrite, or stay listed for the scrubber if unreachable.
+        """
+        array = self.array
+        for i, erasures in enumerate(patterns):
+            stripe = start + i
+            dirty = array.dirty_stripes.get(stripe)
+            if not dirty:
+                continue
+            dirty.discard(column)
+            for col in sorted(set(dirty) & set(erasures)):
+                try:
+                    await array._store_strip(col, stripe, batch[i, col])
+                except (NodeUnavailableError, RemoteDiskError):
+                    continue
+                dirty.discard(col)
+            if not dirty:
+                array.dirty_stripes.pop(stripe, None)

@@ -235,15 +235,19 @@ def fuzz(
     code_factory=make_code,
     shrink: bool = True,
     scenarios: bool = True,
+    chaos: bool = False,
     on_progress=None,
 ) -> FuzzFailure | None:
     """Drive cases until a divergence, a case budget, or a time budget.
 
     Case ``i`` derives everything from ``seed + i``; stripe cases and
     cluster scenarios alternate (scenario every 4th case -- they cost
-    more).  Returns ``None`` if every oracle stayed in agreement, else
-    a :class:`FuzzFailure` whose ``shrunk`` record is minimal under the
-    greedy reductions of :mod:`repro.sim.shrink`.
+    more).  ``chaos`` generates scenarios with the self-healing
+    vocabulary (scrub, heal, two-phase writes with crash injection)
+    and their convergence epilogue.  Returns ``None`` if every oracle
+    stayed in agreement, else a :class:`FuzzFailure` whose ``shrunk``
+    record is minimal under the greedy reductions of
+    :mod:`repro.sim.shrink`.
     """
     if max_cases is None and time_budget is None:
         max_cases = 100
@@ -254,7 +258,7 @@ def fuzz(
     ):
         case_seed = seed + i
         if scenarios and i % 4 == 3:
-            record = generate_scenario(case_seed).to_dict()
+            record = generate_scenario(case_seed, chaos=chaos).to_dict()
         else:
             record = StripeCase.generate(case_seed).to_dict()
         try:

@@ -45,9 +45,12 @@ import numpy as np
 
 from repro.array.faults import ALWAYS, NetworkFaultPlan
 from repro.array.raid6 import RAID6Array
-from repro.cluster.client import RetryPolicy
+from repro.cluster.client import ClusterError, RetryPolicy
+from repro.cluster.health import HealthMonitor
 from repro.cluster.local import LocalCluster
 from repro.cluster.rebuild import RebuildScheduler
+from repro.cluster.scrub import ClusterScrubber
+from repro.cluster.txn import ClientCrash, TwoPhaseWriter
 from repro.codes import make_code
 from repro.obs.tracing import Tracer, use_tracer
 from repro.sim.clock import VirtualClock
@@ -85,6 +88,14 @@ SIM_POLICY = RetryPolicy(
 #: Geometry menu the generator draws from (small: shrink targets).
 GEOMETRY_PRIMES = (5, 7, 11, 13)
 GEOMETRY_ELEMENTS = (8, 16, 32)
+
+#: Op kinds of the self-healing vocabulary.  Their presence in a
+#: scenario switches the runner into chaos mode (two-phase writer,
+#: scrubber and health monitor attached); plain scenarios never
+#: construct them, so pre-chaos seeds keep their historical digests.
+CHAOS_OPS = frozenset(
+    {"corrupt", "scrub", "txn_write", "recover", "heal", "check_quiescent"}
+)
 
 
 @dataclass
@@ -154,8 +165,18 @@ class ScenarioResult:
 # -- generation ---------------------------------------------------------------
 
 
-def generate_scenario(seed: int) -> SimScenario:
-    """Derive a whole campaign from one integer seed."""
+def generate_scenario(seed: int, *, chaos: bool = False) -> SimScenario:
+    """Derive a whole campaign from one integer seed.
+
+    ``chaos`` widens the op vocabulary with the self-healing verbs --
+    silent corruption (always followed by a scrub so reads stay within
+    the single-column guarantee), scrub passes, two-phase writes with
+    client crash injection, and heal rounds -- and appends a
+    convergence epilogue (heal, rebuild, recover, deep scrub,
+    ``check_quiescent``) so every chaos campaign must end all-clean.
+    The default vocabulary is byte-identical to the pre-chaos
+    generator: existing seeds keep their digests.
+    """
     rng = random.Random(seed)
     p = rng.choice(GEOMETRY_PRIMES)
     k = rng.randint(2, min(5, p))
@@ -167,6 +188,10 @@ def generate_scenario(seed: int) -> SimScenario:
     capacity = k * p * element_size * n_stripes
 
     impaired: set[int] = set()
+    #: why each impaired column is impaired: reachability losses
+    #: ("stop", "net") are what a heal round fixes; media losses
+    #: ("disk", "latent") need an explicit rebuild.
+    impair_kind: dict[int, str] = {}
     n_cols = k + 2
     ops: list = [{"op": "write", "offset": 0, "length": capacity, "seed": rng.getrandbits(31)}]
 
@@ -184,6 +209,10 @@ def generate_scenario(seed: int) -> SimScenario:
             choices += ["stop_node", "net_fault", "disk_fail", "latent"]
         if impaired:
             choices.append("rebuild")
+        if chaos:
+            choices += ["txn_write", "scrub"]
+            if not impaired:
+                choices.append("corrupt")
         kind = rng.choice(choices)
 
         if kind == "write":
@@ -202,26 +231,55 @@ def generate_scenario(seed: int) -> SimScenario:
         elif kind == "stop_node":
             col = rng.choice(healthy)
             impaired.add(col)
+            impair_kind[col] = "stop"
             ops.append({"op": "stop_node", "column": col})
         elif kind == "net_fault":
             col = rng.choice(healthy)
             impaired.add(col)
+            impair_kind[col] = "net"
             plan = NetworkFaultPlan.random(rng, persistent=True)
             ops.append({"op": "fault", "column": col, "plan": plan.to_header()})
         elif kind == "disk_fail":
             col = rng.choice(healthy)
             impaired.add(col)
+            impair_kind[col] = "disk"
             ops.append({"op": "disk_fail", "column": col})
         elif kind == "latent":
             col = rng.choice(healthy)
             impaired.add(col)
+            impair_kind[col] = "latent"
             ops.append({"op": "latent", "column": col,
                         "stripe": rng.randrange(n_stripes)})
         elif kind == "rebuild":
             col = rng.choice(sorted(impaired))
             impaired.discard(col)
+            impair_kind.pop(col, None)
             ops.append({"op": "rebuild", "column": col})
+        elif kind == "txn_write":
+            crash_after = (
+                rng.randint(0, 2 * n_cols + 1) if rng.random() < 0.5 else None
+            )
+            ops.append({"op": "txn_write", "stripe": rng.randrange(n_stripes),
+                        "seed": rng.getrandbits(31), "crash_after": crash_after})
+        elif kind == "corrupt":
+            # Silent corruption breaks the healthy-read oracle until
+            # repaired, so the scrub rides along immediately.
+            ops.append({"op": "corrupt", "column": rng.choice(healthy),
+                        "stripe": rng.randrange(n_stripes),
+                        "seed": rng.getrandbits(31)})
+            ops.append({"op": "scrub"})
+        elif kind == "scrub":
+            ops.append({"op": "scrub"})
 
+    if chaos:
+        # Convergence epilogue: the self-healing machinery must drive
+        # whatever the campaign broke back to all-clean.
+        ops.append({"op": "heal"})
+        for col in sorted(c for c in impaired if impair_kind[c] in ("disk", "latent")):
+            ops.append({"op": "rebuild", "column": col})
+        ops.append({"op": "recover"})
+        ops.append({"op": "scrub", "deep": True})
+        ops.append({"op": "check_quiescent"})
     ops.append({"op": "read_all"})
     sc.ops = ops
     return sc
@@ -304,6 +362,32 @@ def run_scenario(
             )
             shadow = bytearray(arr.capacity)
 
+            # The self-healing machinery attaches only when the op list
+            # uses it, so plain scenarios replay with their historical
+            # digests (a HealthMonitor installs circuit breakers, which
+            # change the data path's failure handling).
+            writer = scrubber = monitor = None
+            if any(op["op"] in CHAOS_OPS for op in scenario.ops):
+                writer = TwoPhaseWriter(arr, client_id=f"sim-{scenario.seed}")
+                scrubber = ClusterScrubber(arr, window=2)
+                monitor = HealthMonitor(
+                    arr, miss_threshold=2, probe_timeout=0.2,
+                    spare_provider=cluster.start_replacement,
+                    on_rebuilt=cluster.promote_replacement,
+                    rebuild_batch=2,
+                )
+
+            async def txn_committed(txn: str) -> bool:
+                """Whether any participant recorded a commit decision."""
+                for client in arr.clients:
+                    try:
+                        reply, _ = await client.request("txn-status", {"txn": txn})
+                    except ClusterError:
+                        continue
+                    if reply.get("state") == "committed":
+                        return True
+                return False
+
             for i, op in enumerate(scenario.ops):
                 kind = op["op"]
                 record: dict = {"i": i, "op": kind}
@@ -343,6 +427,87 @@ def run_scenario(
                     rebuilt = await sched.rebuild_column(col, addr)
                     cluster.promote_replacement(col)
                     record["stripes"] = rebuilt
+                elif kind == "corrupt":
+                    cluster.nodes[int(op["column"])].disk.corrupt(
+                        int(op["stripe"]), seed=int(op["seed"])
+                    )
+                elif kind == "scrub":
+                    rep = await scrubber.scrub(deep=bool(op.get("deep")))
+                    record["corrected"] = rep.corrected
+                    record["uncorrectable"] = rep.uncorrectable
+                    record["deferred"] = rep.deferred
+                    record["fast"] = rep.fast_path_hits
+                elif kind == "txn_write":
+                    stripe = int(op["stripe"])
+                    sdb = arr.stripe_data_bytes
+                    data = _payload(int(op["seed"]), sdb)
+                    buf = cluster_code.alloc_stripe()
+                    arr._fill_data_columns(buf, data)
+                    cluster_code.encode(buf)
+                    if op.get("crash_after") is not None:
+                        writer.crash.arm(after=int(op["crash_after"]))
+                    try:
+                        record["skipped"] = await writer.write_stripe(stripe, buf)
+                        committed = True
+                    except ClientCrash:
+                        # The coordinator died mid-protocol; recovery
+                        # decides the txn, and the oracles follow it.
+                        txn = f"{writer.client_id}-{writer._seq}"
+                        recovered = await writer.recover()
+                        committed = (
+                            txn in recovered["rolled_forward"]
+                            or await txn_committed(txn)
+                        )
+                        record["crashed"] = True
+                    record["committed"] = committed
+                    if committed:
+                        model.write(stripe * sdb, data)
+                        shadow[stripe * sdb : (stripe + 1) * sdb] = data
+                elif kind == "recover":
+                    recovered = await writer.recover()
+                    record["rolled_forward"] = recovered["rolled_forward"]
+                    record["rolled_back"] = recovered["rolled_back"]
+                elif kind == "heal":
+                    for _ in range(monitor.miss_threshold):
+                        await monitor.probe_once()
+                    record["healed"] = await monitor.heal()
+                elif kind == "check_quiescent":
+                    unretired = []
+                    for col, client in enumerate(arr.clients):
+                        try:
+                            reply, _ = await client.request("intents")
+                        except ClusterError:
+                            unretired.append({"column": col, "unreachable": True})
+                            continue
+                        unretired += [
+                            {"column": col, "txn": rec["txn"]}
+                            for rec in reply.get("txns", ())
+                        ]
+                    if unretired:
+                        raise DivergenceError(
+                            f"op[{i}] check_quiescent: unretired intents "
+                            f"{unretired}",
+                            context={"op_index": i, "oracle": "quiescence",
+                                     "intents": unretired, "op": op},
+                        )
+                    rep = await scrubber.scrub(deep=True)
+                    if not rep.healthy:
+                        raise DivergenceError(
+                            f"op[{i}] check_quiescent: scrub not clean "
+                            f"(uncorrectable={rep.uncorrectable}, "
+                            f"deferred={rep.deferred}, "
+                            f"detected_only={rep.detected_only})",
+                            context={"op_index": i, "oracle": "quiescence",
+                                     "op": op},
+                        )
+                    if arr.dirty_stripes:
+                        raise DivergenceError(
+                            f"op[{i}] check_quiescent: dirty stripes remain "
+                            f"{sorted(arr.dirty_stripes)}",
+                            context={"op_index": i, "oracle": "quiescence",
+                                     "op": op},
+                        )
+                    record["quiescent"] = True
                 else:
                     raise ValueError(f"unknown scenario op {kind!r}")
                 record["t"] = round(clock.time(), 9)

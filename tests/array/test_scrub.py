@@ -69,6 +69,38 @@ class TestScrubRepairs:
         assert report.uncorrectable == [2]
 
 
+class TestDetectOnlyFallbackSurfacing:
+    def test_fallback_is_flagged_in_the_report(self):
+        arr, _ = build(name="evenodd")
+        report = Scrubber(arr).scrub()
+        assert report.detect_only_fallback
+        assert report.healthy  # nothing wrong, merely locator-less
+
+    def test_locating_code_does_not_flag(self):
+        arr, _ = build()
+        report = Scrubber(arr).scrub()
+        assert not report.detect_only_fallback
+        # repair=False is a deliberate choice, not a fallback.
+        assert not Scrubber(arr).scrub(repair=False).detect_only_fallback
+
+    def test_fallback_logs_a_warning(self, caplog):
+        import logging
+
+        arr, _ = build(name="evenodd")
+        with caplog.at_level(logging.WARNING, logger="repro.array.scrub"):
+            Scrubber(arr)
+        assert any("no single-column error locator" in r.message
+                   for r in caplog.records)
+
+    def test_locating_code_stays_quiet(self, caplog):
+        import logging
+
+        arr, _ = build()
+        with caplog.at_level(logging.WARNING, logger="repro.array.scrub"):
+            Scrubber(arr)
+        assert not caplog.records
+
+
 class TestFaultInjector:
     def test_fail_random_disks(self):
         arr, data = build()

@@ -1,0 +1,158 @@
+"""Client-robustness regressions: timeouts, degraded writes, hedging.
+
+The satellite guarantees of the self-healing work: ``send_verb`` can
+never hang a control-plane caller (its timeout runs on the injectable
+clock, so the regression test costs virtual seconds only),
+``write_stripe`` reports exactly which columns it skipped and queues
+them for the scrubber, and hedged reads cut tail latency without
+losing determinism.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.array.faults import NetworkFaultPlan
+from repro.cluster import ClusterDegradedError, RetryPolicy, send_verb
+from tests.cluster.conftest import FAST_POLICY, payload_for, sim_cluster
+
+
+class TestSendVerbTimeout:
+    def test_hung_node_times_out_in_virtual_seconds(self):
+        async def run():
+            code, cluster = sim_cluster()
+            async with cluster:
+                # Service latency far beyond the timeout: without the
+                # bound, this call would stall for 60 virtual seconds.
+                cluster.nodes[0].faults = NetworkFaultPlan(latency=60.0)
+                clock = cluster.clock
+                t0 = clock.time()
+                with pytest.raises((asyncio.TimeoutError, TimeoutError)):
+                    await send_verb(
+                        cluster.addresses[0], "ping",
+                        transport=cluster.transport, clock=clock, timeout=0.5,
+                    )
+                elapsed = clock.time() - t0
+                assert 0.5 <= elapsed < 1.0
+
+        asyncio.run(run())
+
+    def test_timeout_none_waits_out_the_latency(self):
+        async def run():
+            code, cluster = sim_cluster()
+            async with cluster:
+                cluster.nodes[0].faults = NetworkFaultPlan(latency=2.0)
+                reply, _ = await send_verb(
+                    cluster.addresses[0], "ping",
+                    transport=cluster.transport, clock=cluster.clock,
+                    timeout=None,
+                )
+                assert reply["status"] == "ok"
+
+        asyncio.run(run())
+
+    def test_default_timeout_is_bounded(self):
+        """The default must be a finite number -- a bare send_verb call
+        against a dead address cannot hang forever."""
+        import inspect
+
+        sig = inspect.signature(send_verb)
+        default = sig.parameters["timeout"].default
+        assert isinstance(default, (int, float))
+        assert 0 < default <= 60
+
+
+class TestDegradedWriteReporting:
+    def test_clean_write_reports_nothing(self):
+        async def run():
+            code, cluster = sim_cluster()
+            async with cluster:
+                arr = cluster.array(policy=FAST_POLICY)
+                buf = code.alloc_stripe()
+                buf[: code.k] = 5
+                code.encode(buf)
+                assert await arr.write_stripe(0, buf) == []
+                assert arr.dirty_stripes == {}
+
+        asyncio.run(run())
+
+    def test_skipped_columns_returned_and_queued(self):
+        async def run():
+            code, cluster = sim_cluster()
+            async with cluster:
+                arr = cluster.array(policy=FAST_POLICY)
+                buf = code.alloc_stripe()
+                buf[: code.k] = 5
+                code.encode(buf)
+                await cluster.stop_node(1)
+                await cluster.stop_node(3)
+                assert await arr.write_stripe(2, buf) == [1, 3]
+                assert arr.dirty_stripes == {2: {1, 3}}
+                # A later clean full write clears the stripe's debt.
+                await cluster.restart_node(1)
+                await cluster.restart_node(3)
+                arr.replace_node(1, cluster.nodes[1].address)
+                arr.replace_node(3, cluster.nodes[3].address)
+                assert await arr.write_stripe(2, buf) == []
+                assert arr.dirty_stripes == {}
+
+        asyncio.run(run())
+
+    def test_beyond_budget_raises(self):
+        async def run():
+            code, cluster = sim_cluster()
+            async with cluster:
+                arr = cluster.array(policy=FAST_POLICY)
+                buf = code.alloc_stripe()
+                buf[: code.k] = 5
+                code.encode(buf)
+                for col in (0, 2, 4):
+                    await cluster.stop_node(col)
+                with pytest.raises(ClusterDegradedError):
+                    await arr.write_stripe(0, buf)
+
+        asyncio.run(run())
+
+
+class TestHedgedReads:
+    def test_hedge_beats_a_slow_node(self):
+        """One slow response: the hedge twin answers first, and the
+        read finishes in ~hedge_after instead of the full latency."""
+
+        async def run():
+            code, cluster = sim_cluster()
+            async with cluster:
+                patient = RetryPolicy(attempts=2, timeout=10.0, backoff=0.01)
+                arr = cluster.array(policy=patient, hedge_after=0.2)
+                data = payload_for(arr)
+                await arr.write(0, data)
+                # Only the next request is slow (a stall, not an outage):
+                # the hedge twin dials the same node and wins.
+                cluster.nodes[0].faults = NetworkFaultPlan(
+                    latency=5.0, slow_requests=1
+                )
+                t0 = cluster.clock.time()
+                stripe = await arr.read_stripe(0)
+                elapsed = cluster.clock.time() - t0
+                assert stripe is not None
+                assert arr.metrics.get("hedged_requests") >= 1
+                assert arr.metrics.get("hedge_wins") >= 1
+                assert elapsed < 5.0  # did not wait out the stall
+
+        asyncio.run(run())
+
+    def test_hedging_is_transparent_on_a_healthy_cluster(self):
+        """With no slow node, hedged and unhedged arrays read the same
+        bytes (a hedge twin is a duplicate request, never a new state)."""
+
+        async def run():
+            code, cluster = sim_cluster()
+            async with cluster:
+                arr = cluster.array(policy=FAST_POLICY, hedge_after=0.2)
+                data = payload_for(arr)
+                await arr.write(0, data)
+                assert await arr.read(0, arr.capacity) == data
+                plain = cluster.array(policy=FAST_POLICY)
+                assert await plain.read(0, arr.capacity) == data
+
+        asyncio.run(run())

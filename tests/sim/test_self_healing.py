@@ -1,0 +1,116 @@
+"""Chaos scenarios: the self-healing stack must converge, deterministically.
+
+The acceptance drill of the self-healing work: a campaign that corrupts
+a strip, hangs a node and crashes a client mid-write must end with
+every stripe clean, the hung column rebuilt, and no transaction intent
+pending -- and two runs of the same seed must produce byte-identical
+trace digests.  The ``check_quiescent`` op *is* the oracle: it raises
+:class:`DivergenceError` unless intents are drained, a deep scrub is
+spotless and the dirty-stripe list is empty.
+"""
+
+import pytest
+
+from repro.array.faults import NetworkFaultPlan
+from repro.sim import SimScenario, generate_scenario, run_scenario
+from repro.sim.scenario import CHAOS_OPS
+
+CHAOS_SEEDS = list(range(8))
+
+
+def acceptance_scenario(seed=424242):
+    """Corrupt a strip + hang a node + crash the client mid-write."""
+    hang = NetworkFaultPlan(latency=10.5)  # far beyond every sim timeout
+    return SimScenario(
+        seed=seed, k=3, p=5, element_size=8, n_stripes=2,
+        ops=[
+            {"op": "write", "offset": 0, "length": 240, "seed": 7},
+            {"op": "corrupt", "column": 1, "stripe": 0, "seed": 99},
+            {"op": "scrub"},
+            {"op": "fault", "column": 3, "plan": hang.to_header()},
+            {"op": "txn_write", "stripe": 1, "seed": 8, "crash_after": 3},
+            {"op": "heal"},
+            {"op": "recover"},
+            {"op": "scrub", "deep": True},
+            {"op": "check_quiescent"},
+            {"op": "read_all"},
+        ],
+    )
+
+
+class TestAcceptanceScenario:
+    def test_converges_and_replays_bit_identically(self):
+        sc = acceptance_scenario()
+        first = run_scenario(sc)  # raises DivergenceError if not convergent
+        second = run_scenario(sc)
+        assert first.digest == second.digest
+        assert first.trace == second.trace
+
+        by_op = {}
+        for rec in first.trace:
+            by_op.setdefault(rec.get("op"), []).append(rec)
+        # The corruption was located and repaired by the paper's locator.
+        assert by_op["scrub"][0]["corrected"] == [[0, 1]] or (
+            by_op["scrub"][0]["corrected"] == [(0, 1)]
+        )
+        # The hung column was failed by heartbeats and rebuilt on a spare.
+        assert by_op["heal"][0]["healed"] == [3]
+        # The crashed transaction was resolved, one way, by recovery.
+        assert by_op["txn_write"][0]["crashed"] is True
+        assert by_op["check_quiescent"][0]["quiescent"] is True
+
+
+class TestChaosGenerator:
+    def test_plain_vocabulary_is_untouched(self):
+        """Default generation must stay byte-identical to the pre-chaos
+        generator: no chaos op ever appears, and ``chaos=False`` is the
+        same draw sequence as no flag at all."""
+        for seed in range(12):
+            plain = generate_scenario(seed)
+            assert plain.to_dict() == generate_scenario(seed, chaos=False).to_dict()
+            assert not any(op["op"] in CHAOS_OPS for op in plain.ops)
+
+    def test_chaos_generation_is_pure(self):
+        for seed in CHAOS_SEEDS:
+            a = generate_scenario(seed, chaos=True)
+            b = generate_scenario(seed, chaos=True)
+            assert a.to_dict() == b.to_dict()
+
+    def test_chaos_campaigns_end_with_the_convergence_epilogue(self):
+        for seed in CHAOS_SEEDS:
+            ops = [op["op"] for op in generate_scenario(seed, chaos=True).ops]
+            assert ops[-1] == "read_all"
+            assert ops[-2] == "check_quiescent"
+            assert "heal" in ops and "recover" in ops
+            # The deep scrub sits between recovery and the final check.
+            assert ops[-3] == "scrub"
+
+    def test_corrupt_is_always_followed_by_scrub(self):
+        """Silent corruption breaks the healthy-read oracle, so the
+        generator may never leave it unscrubbed."""
+        for seed in range(30):
+            ops = generate_scenario(seed, chaos=True).ops
+            for i, op in enumerate(ops):
+                if op["op"] == "corrupt":
+                    assert ops[i + 1]["op"] == "scrub"
+
+    def test_chaos_vocabulary_is_reachable(self):
+        kinds = set()
+        for seed in range(30):
+            kinds |= {op["op"] for op in generate_scenario(seed, chaos=True).ops}
+        assert {"txn_write", "scrub", "corrupt", "heal", "recover",
+                "check_quiescent"} <= kinds
+
+
+class TestChaosConvergence:
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_every_chaos_seed_converges_deterministically(self, seed):
+        sc = generate_scenario(seed, chaos=True)
+        first = run_scenario(sc)  # check_quiescent raises if not convergent
+        second = run_scenario(sc)
+        assert first.digest == second.digest
+
+    def test_fuzz_chaos_mode_stays_clean(self):
+        from repro.sim.differential import fuzz
+
+        assert fuzz(seed=0, max_cases=4, chaos=True) is None
