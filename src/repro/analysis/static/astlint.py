@@ -25,7 +25,10 @@ need imports it from).  The observability layer (``repro.obs``) is
 deliberately *not* a seam: a tracer only ever reads the clock it was
 handed (``Tracer(now=...)``), so the lint holds over it like any other
 library code -- which is what makes its traces deterministic under the
-simulator.
+simulator.  The same goes for the object gateway (``repro.gateway``),
+workload driver included: its clock is injected and its op stream is
+drawn from an explicitly seeded generator, which is exactly what lets
+the sim-mode benchmark produce a byte-stable digest.
 """
 
 from __future__ import annotations

@@ -461,6 +461,66 @@ def cmd_bench_regress(args) -> int:
     return 0
 
 
+def cmd_gateway_bench(args) -> int:
+    from repro.bench.report import format_table
+    from repro.gateway.bench import WorkloadConfig, run_sim_bench, run_socket_bench
+
+    cfg = WorkloadConfig(
+        seed=args.seed,
+        n_objects=args.objects,
+        object_size=args.object_size,
+        n_ops=args.ops,
+        rate=args.rate,
+        read_fraction=args.read_fraction,
+        update_bytes=args.update_bytes,
+        zipf_theta=args.zipf_theta,
+    )
+    if args.mode == "sim":
+        report = run_sim_bench(
+            cfg,
+            n_stripes=args.stripes,
+            service_latency=args.service_latency,
+            max_inflight=args.max_inflight,
+            max_queue=args.max_queue,
+            queue_timeout=args.queue_timeout,
+        )
+    else:
+        report = run_socket_bench(
+            cfg,
+            n_stripes=args.stripes,
+            max_inflight=args.max_inflight,
+            max_queue=args.max_queue,
+            queue_timeout=args.queue_timeout,
+        )
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0
+    kind = "virtual" if report.mode == "sim" else "wall"
+    print(format_table(
+        report.rows(),
+        title=f"gateway workload ({report.mode}): seed={cfg.seed} "
+              f"objects={cfg.n_objects} ops={cfg.n_ops} rate={cfg.rate:g}/s",
+    ))
+    print(f"completed {report.ok} ok, {report.shed} shed, "
+          f"{report.errors} errors in {report.elapsed_s:.4f}s {kind} time "
+          f"({report.throughput_ops:.1f} ops/s)")
+    print(f"trace digest: {report.digest}"
+          + ("" if report.mode == "sim" else " (op stream only)"))
+    if args.perf:
+        from repro.obs.regress import DEFAULT_PERF_PATH, load_perf, save_perf
+
+        path = args.perf if args.perf is not True else DEFAULT_PERF_PATH
+        payload = load_perf(path) or {"schema": 1, "metrics": {}}
+        payload.setdefault("metrics", {})
+        payload["metrics"][f"gateway_ops/{report.mode}/cli"] = {
+            "value": report.throughput_ops, "unit": "ops/s", "direction": "higher",
+        }
+        save_perf(payload, path)
+        print(f"merged gateway_ops/{report.mode}/cli into {path}")
+    return 0
+
+
 def cmd_sim_fuzz(args) -> int:
     from repro.sim.differential import fuzz
 
@@ -474,6 +534,7 @@ def cmd_sim_fuzz(args) -> int:
         time_budget=args.duration,
         shrink=not args.no_shrink,
         chaos=args.chaos,
+        objects=args.objects,
         on_progress=progress,
     )
     if failure is None:
@@ -504,7 +565,8 @@ def cmd_sim_replay(args) -> int:
 def cmd_sim_run(args) -> int:
     from repro.sim.scenario import generate_scenario, run_scenario
 
-    scenario = generate_scenario(args.seed, chaos=args.chaos)
+    scenario = generate_scenario(args.seed, chaos=args.chaos,
+                                 objects=args.objects)
     result = run_scenario(scenario)
     print(f"scenario seed={args.seed}: {scenario.code} k={scenario.k} "
           f"p={scenario.p} element={scenario.element_size}B "
@@ -679,6 +741,38 @@ def build_parser() -> argparse.ArgumentParser:
                     help="single geometry, short timing windows (PR soft gate)")
     rg.set_defaults(func=cmd_bench_regress)
 
+    gw = sub.add_parser("gateway", help="object-store front-end commands")
+    gw_sub = gw.add_subparsers(dest="gateway_command", required=True)
+    gb = gw_sub.add_parser(
+        "bench",
+        help="drive a zipfian object workload (sim seams or real sockets)",
+    )
+    gb.add_argument("--mode", choices=("sim", "real"), default="sim",
+                    help="sim: virtual clock + memory transport, deterministic "
+                         "digest; real: loopback sockets, measured latency")
+    gb.add_argument("--seed", type=int, default=0)
+    gb.add_argument("--objects", type=int, default=24, help="keyspace size")
+    gb.add_argument("--object-size", type=int, default=1024)
+    gb.add_argument("--ops", type=int, default=300)
+    gb.add_argument("--rate", type=float, default=2000.0,
+                    help="open-loop arrival rate per second")
+    gb.add_argument("--read-fraction", type=float, default=0.8)
+    gb.add_argument("--update-bytes", type=int, default=64)
+    gb.add_argument("--zipf-theta", type=float, default=0.99)
+    gb.add_argument("--stripes", type=int, default=96)
+    gb.add_argument("--service-latency", type=float, default=0.0005,
+                    help="per-request virtual service time in sim mode")
+    gb.add_argument("--max-inflight", type=int, default=16)
+    gb.add_argument("--max-queue", type=int, default=64)
+    gb.add_argument("--queue-timeout", type=float, default=0.25,
+                    help="shed a queued request older than this (seconds)")
+    gb.add_argument("--json", action="store_true",
+                    help="emit the full report as JSON")
+    gb.add_argument("--perf", nargs="?", const=True, default=None,
+                    help="merge throughput into this BENCH_perf.json "
+                         "(default path when given without a value)")
+    gb.set_defaults(func=cmd_gateway_bench)
+
     an = sub.add_parser(
         "analyze",
         help="symbolically prove every schedule correct and audit XOR optimality",
@@ -717,6 +811,9 @@ def build_parser() -> argparse.ArgumentParser:
     fz.add_argument("--chaos", action="store_true",
                     help="include self-healing ops (scrub/heal/2PC crash "
                          "injection) in generated scenarios")
+    fz.add_argument("--objects", action="store_true",
+                    help="route the data plane through the object gateway "
+                         "(put/get/update/delete with a shadow oracle)")
     fz.set_defaults(func=cmd_sim_fuzz)
 
     rp = sim_sub.add_parser("replay", help="re-run a recorded repro file")
@@ -728,6 +825,8 @@ def build_parser() -> argparse.ArgumentParser:
     rn.add_argument("--trace", action="store_true", help="print per-op trace")
     rn.add_argument("--chaos", action="store_true",
                     help="generate the scenario with the self-healing op set")
+    rn.add_argument("--objects", action="store_true",
+                    help="generate the scenario with object-gateway traffic")
     rn.set_defaults(func=cmd_sim_run)
 
     cl = sub.add_parser("cluster", help="operate a running stripe cluster")

@@ -42,6 +42,7 @@ __all__ = [
     "RetryPolicy",
     "ClusterError",
     "NodeUnavailableError",
+    "DeadlineExceededError",
     "RemoteDiskError",
     "ClusterDegradedError",
     "NodeClient",
@@ -56,6 +57,18 @@ class ClusterError(Exception):
 
 class NodeUnavailableError(ClusterError):
     """A node stayed unreachable/faulty through the whole retry budget."""
+
+
+class DeadlineExceededError(NodeUnavailableError):
+    """The request's total deadline expired before an attempt succeeded.
+
+    A subclass of :class:`NodeUnavailableError` on purpose: to the data
+    path a column that cannot answer within its latency budget *is*
+    unavailable (degraded reads decode around it, circuit breakers
+    count it), but callers that care -- admission control deciding
+    whether to shed, tests distinguishing a blown deadline from an
+    exhausted per-RPC retry budget -- can catch the subclass.
+    """
 
 
 class RemoteDiskError(ClusterError):
@@ -82,6 +95,17 @@ class RetryPolicy:
     source is the *caller's* seeded ``random.Random`` (threaded through
     :meth:`delays`), never a module-level global, so retry timing is
     reproducible under simulation.
+
+    ``deadline`` caps the *total* time one request may spend across all
+    attempts, backoff sleeps included -- the budget a caller (the
+    gateway's admission control) can actually reason about, where
+    ``timeout`` alone only bounds each attempt and the worst case grows
+    with ``attempts``.  The running attempt's timeout is clipped to the
+    remaining budget, a backoff that would outlive the budget is not
+    slept, and expiry raises :class:`DeadlineExceededError`.  Timing
+    flows through the client's injectable clock, so deadlines work in
+    virtual seconds under simulation.  ``None`` (the default) preserves
+    the historical per-RPC-only behaviour.
     """
 
     attempts: int = 3
@@ -90,6 +114,7 @@ class RetryPolicy:
     multiplier: float = 2.0
     max_backoff: float = 0.5
     jitter: float = 0.0
+    deadline: float | None = None
 
     def delays(self, rng: random.Random | None = None):
         d = self.backoff
@@ -259,12 +284,32 @@ class NodeClient:
         policy = self.policy
         delays = policy.delays(self.rng)
         clock = self.clock
+        start = clock.time()
+
+        def remaining() -> float | None:
+            if policy.deadline is None:
+                return None
+            return policy.deadline - (clock.time() - start)
+
+        def expired(budget: float | None) -> bool:
+            return budget is not None and budget <= 0
+
         self.metrics.counter("requests").inc()
         for attempt in range(policy.attempts):
+            budget = remaining()
+            if expired(budget):
+                self.metrics.counter("deadline_exceeded").inc()
+                raise DeadlineExceededError(
+                    f"node {self.address}: deadline {policy.deadline}s exhausted "
+                    f"after {attempt} attempt(s)"
+                )
+            attempt_timeout = (
+                policy.timeout if budget is None else min(policy.timeout, budget)
+            )
             t0 = clock.time()
             try:
                 reply, data = await clock.wait_for(
-                    self._attempt(full_header, payload), policy.timeout
+                    self._attempt(full_header, payload), attempt_timeout
                 )
             except (asyncio.TimeoutError, TimeoutError):
                 self.metrics.counter("timeouts").inc()
@@ -287,8 +332,18 @@ class NodeClient:
                 # overload): spend a retry on them.
                 self.metrics.counter("remote_errors").inc()
             if attempt < policy.attempts - 1:
+                delay = next(delays)
+                budget = remaining()
+                if budget is not None and delay >= budget:
+                    # Sleeping would burn the whole budget with no
+                    # attempt left to spend it on: fail now, honestly.
+                    self.metrics.counter("deadline_exceeded").inc()
+                    raise DeadlineExceededError(
+                        f"node {self.address}: backoff of {delay:.3f}s exceeds "
+                        f"remaining deadline budget {max(budget, 0.0):.3f}s"
+                    )
                 self.metrics.counter("retries").inc()
-                await clock.sleep(next(delays))
+                await clock.sleep(delay)
         raise NodeUnavailableError(
             f"node {self.address} unreachable after {policy.attempts} attempts"
         )

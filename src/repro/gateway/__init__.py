@@ -1,0 +1,50 @@
+"""repro.gateway: object-store front-end over the RAID-6 cluster.
+
+The package that gives the cluster a production-shaped surface: a
+keyed object API (:class:`ObjectGateway`) with partial-stripe packing
+(:class:`StripeAllocator`), a hot-stripe LRU (:class:`StripeCache`),
+admission control with typed shedding (:class:`AdmissionController`,
+:class:`Overloaded`), and a measured-load workload harness
+(:mod:`repro.gateway.bench`) that runs identically under the sim seams
+and real sockets.
+"""
+
+from repro.gateway.admission import AdmissionController, Overloaded
+from repro.gateway.bench import (
+    WorkloadConfig,
+    WorkloadReport,
+    ZipfKeys,
+    run_sim_bench,
+    run_socket_bench,
+    run_workload,
+)
+from repro.gateway.cache import StripeCache
+from repro.gateway.layout import Extent, NoSpaceError, ObjectMeta, StripeAllocator
+from repro.gateway.objstore import (
+    GatewayError,
+    IntegrityError,
+    ObjectGateway,
+    ObjectNotFoundError,
+    ObjectStat,
+)
+
+__all__ = [
+    "AdmissionController",
+    "Overloaded",
+    "WorkloadConfig",
+    "WorkloadReport",
+    "ZipfKeys",
+    "run_sim_bench",
+    "run_socket_bench",
+    "run_workload",
+    "StripeCache",
+    "Extent",
+    "NoSpaceError",
+    "ObjectMeta",
+    "StripeAllocator",
+    "GatewayError",
+    "IntegrityError",
+    "ObjectGateway",
+    "ObjectNotFoundError",
+    "ObjectStat",
+]

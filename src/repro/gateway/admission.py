@@ -1,0 +1,154 @@
+"""Admission control: bounded in-flight work, queue-depth shedding.
+
+An asyncio service without backpressure converts overload into
+unbounded queueing: every request is eventually served, but the tail
+latency grows without limit and memory with it.  The gateway instead
+bounds both dimensions explicitly:
+
+* at most ``max_inflight`` requests hold an execution slot;
+* at most ``max_queue`` more may *wait* for a slot; arrivals beyond
+  that are **shed** immediately with the typed :class:`Overloaded`
+  error (cheap for the client to retry against another replica, and
+  cheap for us -- no state was queued);
+* a waiter that has queued longer than ``queue_timeout`` (measured on
+  the injectable clock, so simulated time works) is shed too, which
+  caps the latency of *admitted* work at roughly
+  ``queue_timeout + service_time`` no matter the arrival rate.
+
+The result, asserted by the overload test on a virtual clock: under
+arrival rates far beyond capacity, throughput holds at the service
+limit, excess load turns into ``Overloaded`` errors, and the p99 of
+admitted requests stays bounded.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from collections import deque
+
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.clock import Clock, RealClock
+
+__all__ = ["Overloaded", "AdmissionController"]
+
+
+class Overloaded(Exception):
+    """Load was shed: the gateway is at its admission limit.
+
+    Deliberately *not* a :class:`~repro.cluster.client.ClusterError`
+    subclass -- nothing is wrong with the cluster; the front door is
+    full.  Callers should back off and retry; nothing was executed and
+    no state changed.
+    """
+
+
+class AdmissionController:
+    """Semaphore with a bounded wait queue and queue-age shedding."""
+
+    def __init__(
+        self,
+        max_inflight: int,
+        max_queue: int,
+        *,
+        queue_timeout: float | None = None,
+        clock: Clock | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if max_inflight <= 0:
+            raise ValueError("max_inflight must be positive")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        self.max_inflight = int(max_inflight)
+        self.max_queue = int(max_queue)
+        self.queue_timeout = queue_timeout
+        self.clock = clock if clock is not None else RealClock()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.inflight = 0
+        self._waiters: deque[asyncio.Future] = deque()
+
+    @property
+    def queued(self) -> int:
+        return sum(1 for f in self._waiters if not f.done())
+
+    def _gauges(self) -> None:
+        self.metrics.gauge("gateway_inflight").set(self.inflight)
+        self.metrics.gauge("gateway_queue_depth").set(self.queued)
+
+    async def acquire(self) -> None:
+        """Take a slot; raises :class:`Overloaded` instead of queueing
+        past ``max_queue`` waiters or ``queue_timeout`` seconds."""
+        if self.inflight < self.max_inflight and not self._waiters:
+            self.inflight += 1
+            self.metrics.counter("gateway_admitted").inc()
+            self._gauges()
+            return
+        if self.queued >= self.max_queue:
+            self.metrics.counter("gateway_shed_queue_full").inc()
+            raise Overloaded(
+                f"admission queue full ({self.max_queue} waiting, "
+                f"{self.inflight} in flight)"
+            )
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiters.append(fut)
+        self._gauges()
+        try:
+            if self.queue_timeout is None:
+                await fut
+            else:
+                await self.clock.wait_for(self._granted(fut), self.queue_timeout)
+        except (asyncio.TimeoutError, TimeoutError):
+            # The timer fired -- unless the grant had already landed,
+            # in which case the slot must go back; otherwise the
+            # waiter entry is dead and must never be granted.
+            if fut.done() and not fut.cancelled():
+                self.release()
+            else:
+                fut.cancel()
+            self._waiters_prune()
+            self.metrics.counter("gateway_shed_timeout").inc()
+            self._gauges()
+            raise Overloaded(
+                f"queued longer than {self.queue_timeout}s"
+            ) from None
+        except asyncio.CancelledError:
+            if fut.done() and not fut.cancelled():
+                self.release()  # caller died holding a fresh grant
+            else:
+                fut.cancel()
+            self._waiters_prune()
+            self._gauges()
+            raise
+        self.metrics.counter("gateway_admitted").inc()
+        self._gauges()
+
+    @staticmethod
+    async def _granted(fut: asyncio.Future) -> None:
+        # wait_for() cancels this wrapper on timeout; shielding the
+        # bare future keeps an already-delivered grant observable.
+        await asyncio.shield(fut)
+
+    def _waiters_prune(self) -> None:
+        while self._waiters and self._waiters[0].done():
+            self._waiters.popleft()
+
+    def release(self) -> None:
+        """Give the slot back, waking the oldest live waiter."""
+        self.inflight -= 1
+        while self._waiters:
+            fut = self._waiters.popleft()
+            if fut.done():
+                continue
+            fut.set_result(None)
+            self.inflight += 1
+            break
+        self._gauges()
+
+    @contextlib.asynccontextmanager
+    async def slot(self):
+        """``async with controller.slot():`` -- acquire/release pair."""
+        await self.acquire()
+        try:
+            yield
+        finally:
+            self.release()

@@ -1,0 +1,368 @@
+"""Open-loop object workload driver: zipfian keys, measured load.
+
+The harness that turns "heavy traffic" into numbers.  A seeded
+generator draws an **open-loop** arrival process -- requests are
+issued on a fixed schedule (``rate`` per second) whether or not
+earlier ones have finished, the way independent clients behave, so
+overload actually builds queues instead of politely self-throttling
+the way closed-loop (request-after-response) drivers do.  Keys follow
+a zipfian popularity law (a few hot objects take most traffic), the
+op mix is a configurable read/overwrite/small-update blend, and every
+latency is recorded into log2 histograms reported as interpolated
+p50/p90/p99 (:func:`repro.obs.metrics.quantiles_from_buckets`).
+
+The same driver runs in two modes through the usual seams:
+
+* :func:`run_sim_bench` -- :class:`~repro.sim.clock.VirtualClock` +
+  :class:`~repro.sim.transport.MemoryTransport`, with a deterministic
+  per-request service latency injected via
+  :class:`~repro.array.faults.NetworkFaultPlan`.  Virtual seconds cost
+  no wall time, every latency is an exact function of the seed, and
+  the run folds into a byte-stable :attr:`WorkloadReport.digest`
+  (same seed => same digest, across runs and machines) -- the smoke
+  check CI replays.
+* :func:`run_socket_bench` -- real loopback TCP and the event-loop
+  clock.  Latencies are now measurements, so the digest covers only
+  the deterministic op stream (kinds, keys, payload CRCs), and the
+  report's throughput/percentiles feed ``BENCH_perf.json`` through
+  the regression gate.
+
+Timing inside the driver comes exclusively from the injected clock
+(never the wall clock directly), which is what lets one code path
+serve both modes and keeps the sim-seam AST lint clean over
+``repro.gateway``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import hashlib
+import json
+import random
+import zlib
+from dataclasses import dataclass, field
+
+from repro.array.faults import NetworkFaultPlan
+from repro.cluster.client import ClusterError, RetryPolicy
+from repro.cluster.local import LocalCluster
+from repro.codes import make_code
+from repro.gateway.admission import Overloaded
+from repro.gateway.objstore import GatewayError, ObjectGateway
+from repro.obs.metrics import Histogram
+from repro.sim.clock import Clock, RealClock, VirtualClock
+from repro.sim.transport import MemoryTransport
+
+__all__ = [
+    "WorkloadConfig",
+    "WorkloadReport",
+    "ZipfKeys",
+    "run_workload",
+    "run_sim_bench",
+    "run_socket_bench",
+]
+
+#: Quantiles every latency report carries.
+REPORT_QUANTILES = (0.50, 0.90, 0.99)
+
+
+class ZipfKeys:
+    """Seed-deterministic zipfian sampler over ``n`` keys.
+
+    Key ``i`` (0-based popularity rank) is drawn with probability
+    proportional to ``1 / (i + 1) ** theta``; ``theta = 0`` degrades
+    to uniform, the classic YCSB default is 0.99.  Sampling is a CDF
+    bisect, so draws are O(log n) and a pure function of the supplied
+    ``random.Random``.
+    """
+
+    def __init__(self, n: int, theta: float) -> None:
+        if n <= 0:
+            raise ValueError("need at least one key")
+        weights = [1.0 / (i + 1) ** theta for i in range(n)]
+        total = sum(weights)
+        acc, cdf = 0.0, []
+        for w in weights:
+            acc += w / total
+            cdf.append(acc)
+        cdf[-1] = 1.0  # float-sum drift must not lose the last key
+        self._cdf = cdf
+
+    def draw(self, rng: random.Random) -> int:
+        return bisect.bisect_left(self._cdf, rng.random())
+
+
+@dataclass
+class WorkloadConfig:
+    """One measured-load campaign, fully determined by its fields."""
+
+    seed: int = 0
+    n_objects: int = 24
+    object_size: int = 1024
+    n_ops: int = 300
+    rate: float = 2000.0  # arrivals per second (open loop)
+    read_fraction: float = 0.8
+    update_bytes: int = 64
+    zipf_theta: float = 0.99
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "n_objects": self.n_objects,
+            "object_size": self.object_size,
+            "n_ops": self.n_ops,
+            "rate": self.rate,
+            "read_fraction": self.read_fraction,
+            "update_bytes": self.update_bytes,
+            "zipf_theta": self.zipf_theta,
+        }
+
+
+@dataclass
+class WorkloadReport:
+    """What one driver run measured."""
+
+    mode: str  # "sim" or "socket"
+    config: WorkloadConfig
+    ok: int = 0
+    shed: int = 0
+    errors: int = 0
+    elapsed_s: float = 0.0
+    throughput_ops: float = 0.0  # completed (admitted, successful) ops/s
+    latency: dict = field(default_factory=dict)  # kind -> {p50,p90,p99,mean,count}
+    digest: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "config": self.config.to_dict(),
+            "ok": self.ok,
+            "shed": self.shed,
+            "errors": self.errors,
+            "elapsed_s": self.elapsed_s,
+            "throughput_ops": self.throughput_ops,
+            "latency": self.latency,
+            "digest": self.digest,
+        }
+
+    def rows(self) -> list[dict]:
+        """Per-op-kind table rows for ``repro.bench.report.format_table``."""
+        out = []
+        for kind in sorted(self.latency):
+            stats = self.latency[kind]
+            out.append({
+                "op": kind,
+                "count": stats["count"],
+                "mean_ms": round(stats["mean"] * 1e3, 3),
+                "p50_ms": round(stats["p50"] * 1e3, 3),
+                "p90_ms": round(stats["p90"] * 1e3, 3),
+                "p99_ms": round(stats["p99"] * 1e3, 3),
+            })
+        return out
+
+
+def _payload(seed: int, length: int) -> bytes:
+    """Deterministic pseudo-random object bytes (no ambient RNG)."""
+    out = bytearray()
+    state = (seed * 0x9E3779B97F4A7C15 + 1) & 0xFFFFFFFFFFFFFFFF
+    while len(out) < length:
+        state = (state * 6364136223846793005 + 1442695040888963407) & 0xFFFFFFFFFFFFFFFF
+        out += state.to_bytes(8, "little")
+    return bytes(out[:length])
+
+
+def _draw_ops(cfg: WorkloadConfig) -> list[tuple[str, str, int, int]]:
+    """The deterministic op stream: ``(kind, key, seed, offset)`` rows.
+
+    Drawn up front, before any I/O, so the stream is a pure function
+    of the config no matter how execution interleaves.
+    """
+    rng = random.Random(cfg.seed ^ 0x0B7EC7)
+    zipf = ZipfKeys(cfg.n_objects, cfg.zipf_theta)
+    ops: list[tuple[str, str, int, int]] = []
+    for i in range(cfg.n_ops):
+        key = f"obj{zipf.draw(rng):05d}"
+        roll = rng.random()
+        op_seed = rng.getrandbits(31)
+        if roll < cfg.read_fraction:
+            ops.append(("get", key, op_seed, 0))
+        elif roll < cfg.read_fraction + (1.0 - cfg.read_fraction) / 2:
+            ops.append(("put", key, op_seed, 0))
+        else:
+            span = max(1, min(cfg.update_bytes, cfg.object_size))
+            offset = rng.randrange(max(1, cfg.object_size - span + 1))
+            ops.append(("update", key, op_seed, offset))
+    return ops
+
+
+async def run_workload(
+    gateway: ObjectGateway,
+    cfg: WorkloadConfig,
+    *,
+    clock: Clock,
+    deterministic: bool,
+) -> WorkloadReport:
+    """Preload the keyspace, then drive the open-loop op stream.
+
+    ``deterministic`` marks a virtual-clock run: timestamps and
+    latencies then join the digest (byte-stable replay); on real
+    clocks they are measurements and stay out of it.
+    """
+    for i in range(cfg.n_objects):
+        await gateway.put(f"obj{i:05d}", _payload(cfg.seed ^ i, cfg.object_size))
+
+    ops = _draw_ops(cfg)
+    hists = {kind: Histogram(kind, base=1e-5) for kind in ("get", "put", "update")}
+    records: list = [None] * len(ops)
+    counts = {"ok": 0, "shed": 0, "error": 0}
+
+    async def one_op(i: int, kind: str, key: str, op_seed: int, offset: int) -> None:
+        record: dict = {"i": i, "op": kind, "key": key}
+        t0 = clock.time()
+        try:
+            if kind == "get":
+                data = await gateway.get(key)
+                record["crc"] = zlib.crc32(data) & 0xFFFFFFFF
+            elif kind == "put":
+                data = _payload(op_seed, cfg.object_size)
+                await gateway.put(key, data)
+                record["crc"] = zlib.crc32(data) & 0xFFFFFFFF
+            else:
+                span = max(1, min(cfg.update_bytes, cfg.object_size))
+                await gateway.update(key, offset, _payload(op_seed, span))
+                record["offset"] = offset
+        except Overloaded:
+            record["outcome"] = "shed"
+            counts["shed"] += 1
+        except (GatewayError, ClusterError) as exc:
+            record["outcome"] = type(exc).__name__
+            counts["error"] += 1
+        else:
+            record["outcome"] = "ok"
+            counts["ok"] += 1
+            hists[kind].observe(clock.time() - t0)
+        if deterministic:
+            record["t"] = round(t0, 9)
+            record["lat"] = round(clock.time() - t0, 9)
+        records[i] = record
+
+    t_start = clock.time()
+    interarrival = 1.0 / cfg.rate
+    tasks = []
+    for i, (kind, key, op_seed, offset) in enumerate(ops):
+        tasks.append(asyncio.ensure_future(one_op(i, kind, key, op_seed, offset)))
+        await clock.sleep(interarrival)
+    await asyncio.gather(*tasks)
+    elapsed = max(clock.time() - t_start, 1e-9)
+
+    latency = {}
+    for kind, hist in hists.items():
+        if hist.total == 0:
+            continue
+        p50, p90, p99 = hist.quantiles(REPORT_QUANTILES)
+        latency[kind] = {
+            "count": hist.total, "mean": hist.mean,
+            "p50": p50, "p90": p90, "p99": p99,
+        }
+
+    trace = {"config": cfg.to_dict(), "records": records}
+    digest = hashlib.sha256(
+        json.dumps(trace, sort_keys=True, separators=(",", ":")).encode()
+    ).hexdigest()
+    return WorkloadReport(
+        mode="sim" if deterministic else "socket",
+        config=cfg,
+        ok=counts["ok"],
+        shed=counts["shed"],
+        errors=counts["error"],
+        elapsed_s=elapsed,
+        throughput_ops=counts["ok"] / elapsed,
+        latency=latency,
+        digest=digest,
+    )
+
+
+#: Geometry shared by both harnesses: k=3, p=5, 64-byte elements gives
+#: 960-byte stripe payloads -- small objects pack several per stripe,
+#: the default 1 KiB object spans stripe boundaries.
+def _bench_code(k: int = 3, p: int = 5, element_size: int = 64):
+    return make_code("liberation-optimal", k, p=p, element_size=element_size)
+
+
+def _bench_policy(deadline: float | None) -> RetryPolicy:
+    return RetryPolicy(
+        attempts=2, timeout=1.0, backoff=0.005, max_backoff=0.05, deadline=deadline
+    )
+
+
+def run_sim_bench(
+    cfg: WorkloadConfig,
+    *,
+    n_stripes: int = 96,
+    service_latency: float = 0.0005,
+    max_inflight: int = 16,
+    max_queue: int = 64,
+    queue_timeout: float | None = 0.25,
+    cache_stripes: int = 16,
+    deadline: float | None = 2.0,
+) -> WorkloadReport:
+    """The deterministic harness: virtual clock, in-memory transport.
+
+    ``service_latency`` seconds are charged (virtually) to every node
+    request via :class:`NetworkFaultPlan`, so queueing behaviour under
+    a given arrival rate is modelled, not just measured as zero.
+    """
+
+    async def main() -> WorkloadReport:
+        clock = VirtualClock()
+        transport = MemoryTransport()
+        cluster = LocalCluster(
+            _bench_code(), n_stripes, transport=transport, clock=clock
+        )
+        async with cluster:
+            for node in cluster.nodes:
+                node.faults = NetworkFaultPlan(latency=service_latency)
+            array = cluster.array(
+                policy=_bench_policy(deadline), rng=random.Random(cfg.seed)
+            )
+            gateway = ObjectGateway(
+                array,
+                cache_stripes=cache_stripes,
+                max_inflight=max_inflight,
+                max_queue=max_queue,
+                queue_timeout=queue_timeout,
+            )
+            return await run_workload(gateway, cfg, clock=clock, deterministic=True)
+
+    return asyncio.run(main())
+
+
+def run_socket_bench(
+    cfg: WorkloadConfig,
+    *,
+    n_stripes: int = 96,
+    max_inflight: int = 32,
+    max_queue: int = 128,
+    queue_timeout: float | None = 1.0,
+    cache_stripes: int = 16,
+    deadline: float | None = 5.0,
+) -> WorkloadReport:
+    """The measured harness: real loopback sockets, event-loop clock."""
+
+    async def main() -> WorkloadReport:
+        clock = RealClock()
+        cluster = LocalCluster(_bench_code(), n_stripes)
+        async with cluster:
+            array = cluster.array(
+                policy=_bench_policy(deadline), rng=random.Random(cfg.seed)
+            )
+            gateway = ObjectGateway(
+                array,
+                cache_stripes=cache_stripes,
+                max_inflight=max_inflight,
+                max_queue=max_queue,
+                queue_timeout=queue_timeout,
+            )
+            return await run_workload(gateway, cfg, clock=clock, deterministic=False)
+
+    return asyncio.run(main())

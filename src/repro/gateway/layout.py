@@ -1,0 +1,241 @@
+"""Object -> stripe layout: extents, packing, and the segment allocator.
+
+The cluster's unit of durability is the stripe (``k * strip_bytes``
+user bytes protected by P and Q), but object traffic arrives in
+arbitrary sizes.  :class:`StripeAllocator` bridges the two with a
+byte-granular segment allocator over the array's stripes:
+
+* **Small objects pack.**  An allocation smaller than a stripe is
+  placed best-fit into the smallest free segment that holds it,
+  preferring *partially used* stripes over opening a fresh one -- so
+  many small objects share a stripe and its parity overhead, instead
+  of each burning ``2 * strip_bytes`` of parity for a few bytes of
+  data.
+* **Large objects span.**  An allocation larger than a stripe takes
+  whole free stripes first (those writes hit the full-stripe encode
+  path, no read-modify-write) and packs only its tail.
+* **Extents never cross a stripe boundary**, so every extent maps to
+  exactly one stripe's read-modify-write and the gateway can lock and
+  cache at stripe granularity.
+
+The allocator is deterministic: given the same call sequence it
+returns the same extents (candidates are scanned in stripe order, ties
+broken toward the lowest stripe and offset), which is what lets the
+simulated workload driver replay byte-identically from a seed.
+
+Free space is tracked as per-stripe free-segment lists, coalesced on
+release.  Because allocations split across as many segments as needed,
+*any* request no larger than the total free byte count succeeds --
+fragmentation costs extents (seek-shaped overhead), never capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Extent", "ObjectMeta", "StripeAllocator", "NoSpaceError"]
+
+
+class NoSpaceError(Exception):
+    """The array has fewer free bytes than the allocation needs."""
+
+
+@dataclass(frozen=True)
+class Extent:
+    """One contiguous run of object bytes inside a single stripe.
+
+    ``start`` and ``length`` are byte offsets into the stripe's *data*
+    payload (the ``k * strip_bytes`` user-visible span), never into
+    parity.
+    """
+
+    stripe: int
+    start: int
+    length: int
+
+    def to_dict(self) -> dict:
+        return {"stripe": self.stripe, "start": self.start, "length": self.length}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Extent":
+        return cls(int(d["stripe"]), int(d["start"]), int(d["length"]))
+
+
+@dataclass
+class ObjectMeta:
+    """Directory entry for one object.
+
+    ``crc`` is the zlib CRC-32 of the full object contents, computed
+    when the bytes enter the gateway and verified when they leave it --
+    the end-to-end integrity check that rides *above* the cluster's
+    per-frame and per-strip checksums.
+    """
+
+    name: str
+    size: int
+    crc: int
+    extents: list[Extent]
+    version: int = 1
+
+    @property
+    def stripes(self) -> list[int]:
+        """Stripes this object touches, sorted, deduplicated."""
+        return sorted({e.stripe for e in self.extents})
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "size": self.size,
+            "crc": self.crc,
+            "version": self.version,
+            "extents": [e.to_dict() for e in self.extents],
+        }
+
+
+class StripeAllocator:
+    """Deterministic best-fit segment allocator over stripe payloads."""
+
+    def __init__(self, n_stripes: int, stripe_bytes: int) -> None:
+        if n_stripes <= 0 or stripe_bytes <= 0:
+            raise ValueError("allocator needs positive geometry")
+        self.n_stripes = int(n_stripes)
+        self.stripe_bytes = int(stripe_bytes)
+        #: per-stripe sorted list of free ``(start, length)`` segments
+        self._free: list[list[tuple[int, int]]] = [
+            [(0, self.stripe_bytes)] for _ in range(self.n_stripes)
+        ]
+        self._free_bytes = self.n_stripes * self.stripe_bytes
+
+    # -- bookkeeping views --------------------------------------------------
+
+    @property
+    def free_bytes(self) -> int:
+        return self._free_bytes
+
+    @property
+    def capacity(self) -> int:
+        return self.n_stripes * self.stripe_bytes
+
+    def stripe_free(self, stripe: int) -> int:
+        """Free bytes within one stripe."""
+        return sum(length for _, length in self._free[stripe])
+
+    # -- allocation ---------------------------------------------------------
+
+    def allocate(self, size: int) -> list[Extent]:
+        """Carve ``size`` bytes into extents (empty list for size 0).
+
+        Raises :class:`NoSpaceError` -- leaving the free map untouched
+        -- when fewer than ``size`` bytes are free in total.
+        """
+        if size < 0:
+            raise ValueError("allocation size must be >= 0")
+        if size == 0:
+            return []
+        if size > self._free_bytes:
+            raise NoSpaceError(
+                f"need {size} bytes, {self._free_bytes} free of {self.capacity}"
+            )
+        out: list[Extent] = []
+        remaining = size
+        while remaining:
+            stripe, start, seg_len = self._pick(remaining)
+            take = min(remaining, seg_len)
+            self._carve(stripe, start, take)
+            out.append(Extent(stripe, start, take))
+            remaining -= take
+        return out
+
+    def _pick(self, remaining: int) -> tuple[int, int, int]:
+        """Choose the next ``(stripe, start, length)`` segment to carve.
+
+        Stripe-or-larger remainders prefer a fully free stripe (the
+        full-stripe write path); sub-stripe remainders prefer the
+        tightest fitting segment of a *partially used* stripe (packing).
+        Either way the fallback is the largest segment anywhere, which
+        splits the object across one more extent.
+        """
+        if remaining >= self.stripe_bytes:
+            for stripe in range(self.n_stripes):
+                segs = self._free[stripe]
+                if len(segs) == 1 and segs[0] == (0, self.stripe_bytes):
+                    return stripe, 0, self.stripe_bytes
+            return self._largest()
+        best: tuple[int, int, int, int] | None = None  # sort key + segment
+        for stripe in range(self.n_stripes):
+            fully_free = self._free[stripe] == [(0, self.stripe_bytes)]
+            for seg_start, seg_len in self._free[stripe]:
+                if seg_len < remaining:
+                    continue
+                key = (int(fully_free), seg_len, stripe, seg_start)
+                if best is None or key < best:
+                    best = key
+        if best is not None:
+            _fully_free, seg_len, stripe, seg_start = best
+            return stripe, seg_start, seg_len
+        return self._largest()
+
+    def _largest(self) -> tuple[int, int, int]:
+        stripe_best, start_best, len_best = -1, -1, 0
+        for stripe in range(self.n_stripes):
+            for seg_start, seg_len in self._free[stripe]:
+                if seg_len > len_best:
+                    stripe_best, start_best, len_best = stripe, seg_start, seg_len
+        if len_best == 0:  # pragma: no cover - guarded by the free_bytes check
+            raise NoSpaceError("no free segment available")
+        return stripe_best, start_best, len_best
+
+    def _carve(self, stripe: int, start: int, length: int) -> None:
+        segs = self._free[stripe]
+        for i, (seg_start, seg_len) in enumerate(segs):
+            if seg_start <= start and start + length <= seg_start + seg_len:
+                del segs[i]
+                if seg_start < start:
+                    segs.insert(i, (seg_start, start - seg_start))
+                    i += 1
+                tail = (seg_start + seg_len) - (start + length)
+                if tail:
+                    segs.insert(i, (start + length, tail))
+                self._free_bytes -= length
+                return
+        raise ValueError(
+            f"stripe {stripe}: [{start}, {start + length}) is not free"
+        )
+
+    # -- release / reserve --------------------------------------------------
+
+    def release(self, extents: list[Extent]) -> None:
+        """Return extents to the free map (coalescing neighbours)."""
+        for ext in extents:
+            segs = self._free[ext.stripe]
+            segs.append((ext.start, ext.length))
+            segs.sort()
+            merged: list[tuple[int, int]] = []
+            for seg_start, seg_len in segs:
+                if merged and merged[-1][0] + merged[-1][1] == seg_start:
+                    merged[-1] = (merged[-1][0], merged[-1][1] + seg_len)
+                else:
+                    merged.append((seg_start, seg_len))
+            self._free[ext.stripe] = merged
+            self._free_bytes += ext.length
+
+    def reserve(self, extents: list[Extent]) -> None:
+        """Claim specific extents (rebuilding a directory, undo paths).
+
+        Every extent must currently be free; raises ``ValueError``
+        otherwise, with nothing claimed.
+        """
+        claimed: list[Extent] = []
+        try:
+            for ext in extents:
+                self._carve(ext.stripe, ext.start, ext.length)
+                claimed.append(ext)
+        except ValueError:
+            self.release(claimed)
+            raise
+
+    def __repr__(self) -> str:
+        return (
+            f"StripeAllocator(stripes={self.n_stripes}, "
+            f"stripe_bytes={self.stripe_bytes}, free={self._free_bytes})"
+        )

@@ -31,9 +31,53 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "default_registry",
+    "quantiles_from_buckets",
     "set_default_registry",
     "to_prometheus",
 ]
+
+
+def quantiles_from_buckets(
+    base: float, counts: Iterable[int], qs: Iterable[float]
+) -> list[float]:
+    """Interpolated quantile estimates from a log2 bucket vector.
+
+    :meth:`Histogram.quantile` answers with the containing bucket's
+    *upper edge* -- a deliberate <=2x overestimate that is ideal for
+    alarm thresholds but too coarse for a latency report where p50 and
+    p99 may share a bucket.  This estimator instead interpolates
+    linearly *within* the containing bucket (bucket ``i >= 1`` spans
+    ``(base * 2**(i-1), base * 2**i]``; bucket 0 spans ``[0, base]``),
+    assuming observations are uniform inside a bucket.  The estimate is
+    therefore always inside the containing bucket -- error bounded by
+    one bucket width -- and monotone in ``q``.
+
+    Returns one estimate per requested quantile, in request order; an
+    empty histogram estimates 0.0 everywhere.  This is the estimator
+    behind the workload driver's p50/p90/p99 latency report.
+    """
+    counts = list(counts)
+    total = sum(counts)
+    out: list[float] = []
+    for q in qs:
+        if not 0 <= q <= 1:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if total == 0:
+            out.append(0.0)
+            continue
+        rank = max(1, math.ceil(q * total))
+        seen = 0
+        for i, c in enumerate(counts):
+            if c and seen + c >= rank:
+                lo = 0.0 if i == 0 else base * (2 ** (i - 1))
+                hi = base * (2**i)
+                frac = (rank - seen) / c
+                out.append(lo + frac * (hi - lo))
+                break
+            seen += c
+        else:  # pragma: no cover - rank <= total guarantees a bucket
+            out.append(base * (2 ** (len(counts) - 1)))
+    return out
 
 
 class Counter:
@@ -122,6 +166,16 @@ class Histogram:
             if seen >= rank:
                 return self.base * (2**i)
         return self.base * (2 ** (self.N_BUCKETS - 1))
+
+    def quantiles(self, qs: Iterable[float]) -> list[float]:
+        """Interpolated estimates (see :func:`quantiles_from_buckets`).
+
+        Unlike :meth:`quantile` this does not round up to the bucket
+        edge, so p50/p90/p99 stay distinguishable inside one bucket --
+        what latency reports want.  :meth:`quantile` (and the snapshot
+        fields built on it) keep the conservative upper-edge semantics.
+        """
+        return quantiles_from_buckets(self.base, self.counts, qs)
 
     @property
     def mean(self) -> float:

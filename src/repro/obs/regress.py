@@ -34,7 +34,7 @@ from dataclasses import dataclass
 
 from repro.bench.complexity import all_data_pairs
 from repro.bench.throughput import measure_decode, measure_encode
-from repro.bench.wallclock import wall_time
+from repro.bench.wallclock import wall_now, wall_time
 from repro.codes.registry import make_code
 from repro.utils.primes import prime_for_k
 
@@ -146,6 +146,43 @@ def run_perf_suite(
     res = measure_decode("liberation-optimal", 6, element_size=4096,
                          max_pairs=2, inner=6, repeats=4 if quick else 5)
     put("decode_gbps/liberation-optimal/k6/4KB", res.gbps, "GB/s", "higher")
+
+    # Object-gateway cost: wall-clock ops/s of the sim-seam workload
+    # (virtual clock + in-memory transport, so no sockets -- safe for
+    # the quick/tier-1 path).  The op stream is deterministic, so this
+    # times exactly the gateway + cluster code path, best-of-repeats.
+    # Lazy import: the gateway pulls in the cluster stack, which the
+    # XOR-only paths of this module must not require.
+    from repro.gateway.bench import WorkloadConfig, run_sim_bench, run_socket_bench
+
+    progress("gateway ops: sim workload")
+    sim_cfg = WorkloadConfig(
+        seed=17, n_objects=12, object_size=768, n_ops=120, rate=4000.0
+    )
+    run_sim_bench(sim_cfg, n_stripes=64)  # untimed warmup: imports, caches
+    best_sim = 0.0
+    for _ in range(2 if quick else 3):
+        t0 = wall_now()
+        rep = run_sim_bench(sim_cfg, n_stripes=64)
+        best_sim = max(best_sim, (rep.ok + rep.shed + rep.errors) / (wall_now() - t0))
+    put("gateway_ops/sim/mixed", best_sim, "ops/s", "higher")
+
+    if not quick:
+        # Saturation against real loopback sockets: the measured-load
+        # half of the gateway story (admission control on, zipfian mix).
+        progress("gateway saturation: socket micro-bench")
+        sock_cfg = WorkloadConfig(
+            seed=17, n_objects=12, object_size=768, n_ops=240, rate=4000.0
+        )
+        best_tput, best_p50 = 0.0, float("inf")
+        for _ in range(3):
+            rep = run_socket_bench(sock_cfg, n_stripes=64)
+            best_tput = max(best_tput, rep.throughput_ops)
+            if "get" in rep.latency:
+                best_p50 = min(best_p50, rep.latency["get"]["p50"])
+        put("gateway_ops/socket/mixed", best_tput, "ops/s", "higher")
+        if best_p50 < float("inf"):
+            put("gateway_get_p50_ms/socket", best_p50 * 1e3, "ms", "lower")
 
     return {
         "schema": SCHEMA,

@@ -236,6 +236,7 @@ def fuzz(
     shrink: bool = True,
     scenarios: bool = True,
     chaos: bool = False,
+    objects: bool = False,
     on_progress=None,
 ) -> FuzzFailure | None:
     """Drive cases until a divergence, a case budget, or a time budget.
@@ -244,9 +245,11 @@ def fuzz(
     cluster scenarios alternate (scenario every 4th case -- they cost
     more).  ``chaos`` generates scenarios with the self-healing
     vocabulary (scrub, heal, two-phase writes with crash injection)
-    and their convergence epilogue.  Returns ``None`` if every oracle
-    stayed in agreement, else a :class:`FuzzFailure` whose ``shrunk``
-    record is minimal under the greedy reductions of
+    and their convergence epilogue; ``objects`` routes the data plane
+    through the object gateway (puts/gets/updates/deletes with their
+    own shadow oracle), composable with ``chaos``.  Returns ``None``
+    if every oracle stayed in agreement, else a :class:`FuzzFailure`
+    whose ``shrunk`` record is minimal under the greedy reductions of
     :mod:`repro.sim.shrink`.
     """
     if max_cases is None and time_budget is None:
@@ -258,7 +261,9 @@ def fuzz(
     ):
         case_seed = seed + i
         if scenarios and i % 4 == 3:
-            record = generate_scenario(case_seed, chaos=chaos).to_dict()
+            record = generate_scenario(
+                case_seed, chaos=chaos, objects=objects
+            ).to_dict()
         else:
             record = StripeCase.generate(case_seed).to_dict()
         try:

@@ -52,6 +52,7 @@ from repro.cluster.rebuild import RebuildScheduler
 from repro.cluster.scrub import ClusterScrubber
 from repro.cluster.txn import ClientCrash, TwoPhaseWriter
 from repro.codes import make_code
+from repro.gateway.objstore import IntegrityError, ObjectGateway, ObjectNotFoundError
 from repro.obs.tracing import Tracer, use_tracer
 from repro.sim.clock import VirtualClock
 from repro.sim.transport import MemoryTransport
@@ -63,6 +64,7 @@ __all__ = [
     "generate_scenario",
     "run_scenario",
     "SIM_POLICY",
+    "GATEWAY_OPS",
 ]
 
 
@@ -95,6 +97,17 @@ GEOMETRY_ELEMENTS = (8, 16, 32)
 #: construct them, so pre-chaos seeds keep their historical digests.
 CHAOS_OPS = frozenset(
     {"corrupt", "scrub", "txn_write", "recover", "heal", "check_quiescent"}
+)
+
+#: Op kinds of the object-traffic vocabulary.  Like :data:`CHAOS_OPS`,
+#: their presence switches the runner's data plane: an
+#: :class:`~repro.gateway.objstore.ObjectGateway` is attached and every
+#: object is mirrored (extent by extent) into the byte oracles, so the
+#: raw read checks keep working.  Plain scenarios never construct them,
+#: so existing seeds keep their digests.
+GATEWAY_OPS = frozenset(
+    {"gateway_put", "gateway_get", "gateway_update", "gateway_delete",
+     "check_objects"}
 )
 
 
@@ -165,7 +178,9 @@ class ScenarioResult:
 # -- generation ---------------------------------------------------------------
 
 
-def generate_scenario(seed: int, *, chaos: bool = False) -> SimScenario:
+def generate_scenario(
+    seed: int, *, chaos: bool = False, objects: bool = False
+) -> SimScenario:
     """Derive a whole campaign from one integer seed.
 
     ``chaos`` widens the op vocabulary with the self-healing verbs --
@@ -176,6 +191,18 @@ def generate_scenario(seed: int, *, chaos: bool = False) -> SimScenario:
     ``check_quiescent``) so every chaos campaign must end all-clean.
     The default vocabulary is byte-identical to the pre-chaos
     generator: existing seeds keep their digests.
+
+    ``objects`` swaps the data plane for object traffic: raw
+    writes/reads/txn-writes become ``gateway_put`` / ``gateway_get`` /
+    ``gateway_update`` / ``gateway_delete`` through the object
+    front-end (raw stripe writes would clobber object extents), while
+    the fault vocabulary -- and, with ``chaos``, scrub/corrupt/heal and
+    the convergence epilogue -- stays, so node failure and scrub/heal
+    interleave with object traffic.  The generator tracks live objects
+    and free space exactly (the allocator fails only when bytes run
+    out), so every generated op is legal by construction; a
+    ``check_objects`` op before the closing ``read_all`` proves every
+    surviving object readable and byte-correct.
     """
     rng = random.Random(seed)
     p = rng.choice(GEOMETRY_PRIMES)
@@ -193,7 +220,49 @@ def generate_scenario(seed: int, *, chaos: bool = False) -> SimScenario:
     #: ("disk", "latent") need an explicit rebuild.
     impair_kind: dict[int, str] = {}
     n_cols = k + 2
-    ops: list = [{"op": "write", "offset": 0, "length": capacity, "seed": rng.getrandbits(31)}]
+
+    #: generator-side object directory: name -> size for live objects,
+    #: ``used`` the exact allocated byte total (puts are shadow-writes,
+    #: so an overwrite transiently needs old + new to fit).
+    live: dict[str, int] = {}
+    dead: list[str] = []
+    used = 0
+    next_id = 0
+
+    def gw_put() -> dict | None:
+        nonlocal used, next_id
+        overwrite = bool(live) and rng.random() < 0.35
+        if overwrite:
+            name = rng.choice(sorted(live))
+        else:
+            name = f"obj{next_id}"
+            next_id += 1
+        budget = capacity - used
+        if budget <= 0:
+            return None
+        size = rng.randint(0, min(budget, max(1, capacity // 2)))
+        if overwrite:
+            used -= live[name]
+        used += size
+        live[name] = size
+        if name in dead:
+            dead.remove(name)
+        return {"op": "gateway_put", "name": name, "size": size,
+                "seed": rng.getrandbits(31)}
+
+    # Both vocabularies prime the full array first.  This is not just
+    # initial data: the write freshens every strip's checksum sidecar,
+    # which the corrupt->scrub pairing relies on -- corruption of a
+    # never-written strip is *adopted* by the first probe (sidecar
+    # semantics), survives its paired scrub, and can then spread
+    # through a rebuild into a consistent-but-wrong stripe.
+    ops: list = [{"op": "write", "offset": 0, "length": capacity,
+                  "seed": rng.getrandbits(31)}]
+    if objects:
+        for _ in range(rng.randint(2, 3)):
+            rec = gw_put()
+            if rec is not None:
+                ops.append(rec)
 
     def io_span() -> tuple[int, int]:
         if rng.random() < 0.3:  # full-array (exercises full-stripe path)
@@ -204,18 +273,56 @@ def generate_scenario(seed: int, *, chaos: bool = False) -> SimScenario:
 
     for _ in range(rng.randint(3, 10)):
         healthy = [c for c in range(n_cols) if c not in impaired]
-        choices = ["write", "read", "read_all", "transient_fault"]
+        if objects:
+            choices = ["gateway_put", "gateway_get", "gateway_update",
+                       "gateway_delete", "transient_fault"]
+        else:
+            choices = ["write", "read", "read_all", "transient_fault"]
         if len(impaired) < 2:
             choices += ["stop_node", "net_fault", "disk_fail", "latent"]
         if impaired:
             choices.append("rebuild")
         if chaos:
-            choices += ["txn_write", "scrub"]
+            # txn_write targets raw stripes, which would clobber object
+            # extents -- the object vocabulary drops it, keeps the rest.
+            choices += ["scrub"] if objects else ["txn_write", "scrub"]
             if not impaired:
                 choices.append("corrupt")
         kind = rng.choice(choices)
 
-        if kind == "write":
+        if kind == "gateway_put":
+            rec = gw_put()
+            if rec is None:  # full: fall back to a read of a live object
+                rec = {"op": "gateway_get", "name": rng.choice(sorted(live))}
+            ops.append(rec)
+        elif kind == "gateway_get":
+            if dead and rng.random() < 0.25:
+                # delete-then-get: must answer ObjectNotFoundError
+                ops.append({"op": "gateway_get", "name": rng.choice(sorted(dead))})
+            elif live:
+                ops.append({"op": "gateway_get", "name": rng.choice(sorted(live))})
+            else:
+                ops.append({"op": "gateway_get", "name": "ghost"})
+        elif kind == "gateway_update":
+            cands = sorted(n for n, s in live.items() if s >= 1)
+            if cands:
+                name = rng.choice(cands)
+                size = live[name]
+                offset = rng.randrange(size)
+                length = rng.randint(1, size - offset)
+                ops.append({"op": "gateway_update", "name": name,
+                            "offset": offset, "length": length,
+                            "seed": rng.getrandbits(31)})
+            elif live:
+                ops.append({"op": "gateway_get", "name": rng.choice(sorted(live))})
+        elif kind == "gateway_delete":
+            if live:
+                name = rng.choice(sorted(live))
+                used -= live.pop(name)
+                if name not in dead:
+                    dead.append(name)
+                ops.append({"op": "gateway_delete", "name": name})
+        elif kind == "write":
             offset, length = io_span()
             ops.append({"op": "write", "offset": offset, "length": length,
                         "seed": rng.getrandbits(31)})
@@ -280,6 +387,8 @@ def generate_scenario(seed: int, *, chaos: bool = False) -> SimScenario:
         ops.append({"op": "recover"})
         ops.append({"op": "scrub", "deep": True})
         ops.append({"op": "check_quiescent"})
+    if objects:
+        ops.append({"op": "check_objects"})
     ops.append({"op": "read_all"})
     sc.ops = ops
     return sc
@@ -361,6 +470,46 @@ def run_scenario(
                 policy=SIM_POLICY, rng=random.Random(scenario.seed ^ 0x5EED)
             )
             shadow = bytearray(arr.capacity)
+            sdb = arr.stripe_data_bytes
+
+            # Object traffic attaches the gateway only when the op list
+            # uses it (digest compatibility, like the chaos machinery).
+            # Every object write is mirrored extent-by-extent into the
+            # byte oracles, so raw read checks keep covering the array.
+            gateway = None
+            obj_shadow: dict[str, bytes] = {}
+            if any(op["op"] in GATEWAY_OPS for op in scenario.ops):
+                gateway = ObjectGateway(arr, cache_stripes=scenario.n_stripes)
+
+            def mirror_object(name: str, data: bytes) -> None:
+                pos = 0
+                for ext in gateway.index[name].extents:
+                    off = ext.stripe * sdb + ext.start
+                    chunk = data[pos : pos + ext.length]
+                    model.write(off, chunk)
+                    shadow[off : off + len(chunk)] = chunk
+                    pos += ext.length
+
+            async def verify_object(i: int, op: dict, name: str) -> bytes:
+                try:
+                    got = await gateway.get(name)
+                except IntegrityError as exc:
+                    raise DivergenceError(
+                        f"op[{i}] {op['op']}: object {name!r} readable but "
+                        f"corrupt: {exc}",
+                        context={"op_index": i, "oracle": "gateway-integrity",
+                                 "name": name, "op": op},
+                    ) from exc
+                want = obj_shadow[name]
+                if got != want:
+                    at = _first_diff(got, want)
+                    raise DivergenceError(
+                        f"op[{i}] {op['op']}: object {name!r} diverges from "
+                        f"its shadow at byte {at}",
+                        context={"op_index": i, "oracle": "gateway-vs-shadow",
+                                 "name": name, "offset": at, "op": op},
+                    )
+                return got
 
             # The self-healing machinery attaches only when the op list
             # uses it, so plain scenarios replay with their historical
@@ -463,6 +612,48 @@ def run_scenario(
                     if committed:
                         model.write(stripe * sdb, data)
                         shadow[stripe * sdb : (stripe + 1) * sdb] = data
+                elif kind == "gateway_put":
+                    name = op["name"]
+                    data = _payload(int(op["seed"]), int(op["size"]))
+                    stat = await gateway.put(name, data)
+                    obj_shadow[name] = data
+                    mirror_object(name, data)
+                    record["sha"] = _sha(data)
+                    record["stripes"] = list(stat.stripes)
+                elif kind == "gateway_get":
+                    name = op["name"]
+                    if name in obj_shadow:
+                        got = await verify_object(i, op, name)
+                        record["sha"] = _sha(got)
+                    else:
+                        try:
+                            await gateway.get(name)
+                        except ObjectNotFoundError:
+                            record["missing"] = True
+                        else:
+                            raise DivergenceError(
+                                f"op[{i}] gateway_get: read of deleted/"
+                                f"missing object {name!r} succeeded",
+                                context={"op_index": i,
+                                         "oracle": "gateway-directory",
+                                         "name": name, "op": op},
+                            )
+                elif kind == "gateway_update":
+                    name, offset = op["name"], int(op["offset"])
+                    data = _payload(int(op["seed"]), int(op["length"]))
+                    await gateway.update(name, offset, data)
+                    blob = bytearray(obj_shadow[name])
+                    blob[offset : offset + len(data)] = data
+                    obj_shadow[name] = bytes(blob)
+                    mirror_object(name, obj_shadow[name])
+                    record["sha"] = _sha(obj_shadow[name])
+                elif kind == "gateway_delete":
+                    await gateway.delete(op["name"])
+                    obj_shadow.pop(op["name"])
+                elif kind == "check_objects":
+                    for name in sorted(obj_shadow):
+                        await verify_object(i, op, name)
+                    record["objects"] = len(obj_shadow)
                 elif kind == "recover":
                     recovered = await writer.recover()
                     record["rolled_forward"] = recovered["rolled_forward"]
@@ -507,6 +698,14 @@ def run_scenario(
                             context={"op_index": i, "oracle": "quiescence",
                                      "op": op},
                         )
+                    if gateway is not None:
+                        # Quiescence for object traffic: every surviving
+                        # object must be readable and byte-correct (a
+                        # CRC pass on stale bytes would be a silent
+                        # readable-but-corrupt state).
+                        for name in sorted(obj_shadow):
+                            await verify_object(i, op, name)
+                        record["objects"] = len(obj_shadow)
                     record["quiescent"] = True
                 else:
                     raise ValueError(f"unknown scenario op {kind!r}")

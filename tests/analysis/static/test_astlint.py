@@ -117,3 +117,41 @@ class TestObsIsNotASeam:
         import repro.bench.wallclock as wc
 
         assert "bench" in Path(wc.__file__).parts
+
+
+class TestGatewayIsNotASeam:
+    """The object gateway -- workload driver included -- takes its clock
+    by injection and seeds every generator explicitly, so it is linted
+    like ordinary library code.  That, not an exemption, is what makes
+    the sim-mode benchmark digest byte-stable."""
+
+    def test_gateway_is_walked_not_skipped(self):
+        import repro.gateway
+
+        root = Path(repro.gateway.__file__).parent.parent  # the repro package
+        gw_files = {p.relative_to(root).as_posix()
+                    for p in (root / "gateway").glob("*.py")}
+        assert "gateway/bench.py" in gw_files  # sanity: package present
+        from repro.analysis.static.astlint import DEFAULT_SEAMS
+
+        assert not any(f.startswith(seam)
+                       for f in gw_files for seam in DEFAULT_SEAMS)
+
+    def test_gateway_package_lints_clean(self):
+        import repro.gateway
+
+        fs = lint_project(Path(repro.gateway.__file__).parent, seams=())
+        assert fs == []
+
+    def test_planted_wall_clock_in_gateway_code_is_flagged(self, tmp_path: Path):
+        # A regression canary: if someone reaches for time.monotonic()
+        # inside gateway code, the lint must catch it -- there is no
+        # seam carve-out to hide behind.
+        pkg = tmp_path / "gateway"
+        pkg.mkdir()
+        (pkg / "objstore.py").write_text(
+            "import time\n\ndef stamp():\n    return time.monotonic()\n"
+        )
+        fs = lint_project(tmp_path)
+        assert symbols(fs) == ["time.monotonic"]
+        assert fs[0].path == "gateway/objstore.py"

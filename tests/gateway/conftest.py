@@ -1,0 +1,37 @@
+"""Shared helpers for the gateway test suite.
+
+Everything runs on the simulation seam (memory transport + virtual
+clock): deterministic scheduling, zero sockets, zero real sleeps.
+Tests drive asyncio directly (``asyncio.run`` per test), like the
+cluster suite.
+"""
+
+import contextlib
+import random
+
+from repro.cluster import LocalCluster, RetryPolicy
+from repro.codes import make_code
+from repro.gateway import ObjectGateway
+from repro.sim import MemoryTransport, VirtualClock
+
+FAST_POLICY = RetryPolicy(attempts=2, timeout=0.5, backoff=0.01, max_backoff=0.02)
+
+#: k=3, p=5, 64-byte elements: 320-byte strips, 960-byte stripe payloads.
+STRIPE_BYTES = 3 * 5 * 64
+
+
+@contextlib.asynccontextmanager
+async def sim_gateway(k=3, p=5, element_size=64, n_stripes=6, *,
+                      policy=FAST_POLICY, seed=1, **gw_kwargs):
+    """A started sim cluster with an :class:`ObjectGateway` on top.
+
+    Yields ``(gateway, array, cluster)`` so tests can reach beneath the
+    object API (raw writes, node faults) when they need to.
+    """
+    code = make_code("liberation-optimal", k, p=p, element_size=element_size)
+    cluster = LocalCluster(
+        code, n_stripes, transport=MemoryTransport(), clock=VirtualClock()
+    )
+    async with cluster:
+        array = cluster.array(policy=policy, rng=random.Random(seed))
+        yield ObjectGateway(array, **gw_kwargs), array, cluster

@@ -1,0 +1,139 @@
+"""Admission control: slot accounting, shedding, and the overload
+contract (typed errors out, bounded p99 for what gets in)."""
+
+import asyncio
+
+import pytest
+
+from repro.gateway import Overloaded, WorkloadConfig, run_sim_bench
+from repro.gateway.admission import AdmissionController
+from repro.sim import VirtualClock
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestSlots:
+    def test_inflight_is_bounded(self):
+        async def main():
+            ac = AdmissionController(2, 4, clock=VirtualClock())
+            await ac.acquire()
+            await ac.acquire()
+            assert ac.inflight == 2
+            waiter = asyncio.ensure_future(ac.acquire())
+            await asyncio.sleep(0)
+            assert ac.inflight == 2 and ac.queued == 1
+            ac.release()
+            await waiter
+            assert ac.inflight == 2 and ac.queued == 0
+
+        run(main())
+
+    def test_release_wakes_waiters_in_fifo_order(self):
+        async def main():
+            ac = AdmissionController(1, 4, clock=VirtualClock())
+            await ac.acquire()
+            order = []
+
+            async def waiter(tag):
+                await ac.acquire()
+                order.append(tag)
+
+            tasks = [asyncio.ensure_future(waiter(i)) for i in range(3)]
+            await asyncio.sleep(0)
+            for _ in range(3):
+                ac.release()
+                await asyncio.sleep(0)
+            await asyncio.gather(*tasks)
+            assert order == [0, 1, 2]
+
+        run(main())
+
+    def test_queue_full_sheds_with_typed_error(self):
+        async def main():
+            ac = AdmissionController(1, 1, clock=VirtualClock())
+            await ac.acquire()
+            asyncio.ensure_future(ac.acquire())  # fills the queue
+            await asyncio.sleep(0)
+            with pytest.raises(Overloaded):
+                await ac.acquire()
+            assert ac.metrics.counter("gateway_shed_queue_full").value == 1
+            ac.release()
+
+        run(main())
+
+    def test_queue_timeout_sheds_stale_waiters(self):
+        async def main():
+            clock = VirtualClock()
+            ac = AdmissionController(1, 4, queue_timeout=0.1, clock=clock)
+            await ac.acquire()  # never released: waiters must age out
+            with pytest.raises(Overloaded):
+                await ac.acquire()
+            assert ac.metrics.counter("gateway_shed_timeout").value == 1
+            # The dead waiter must not absorb a later grant.
+            ac.release()
+            assert ac.inflight == 0
+            await ac.acquire()
+            assert ac.inflight == 1
+
+        run(main())
+
+    def test_invalid_limits_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionController(0, 1)
+        with pytest.raises(ValueError):
+            AdmissionController(1, -1)
+
+    def test_slot_context_manager_releases_on_error(self):
+        async def main():
+            ac = AdmissionController(1, 0, clock=VirtualClock())
+            with pytest.raises(RuntimeError):
+                async with ac.slot():
+                    assert ac.inflight == 1
+                    raise RuntimeError("op failed")
+            assert ac.inflight == 0
+
+        run(main())
+
+
+class TestOverloadContract:
+    """The ISSUE's acceptance criterion, on the virtual clock: induced
+    overload sheds with ``Overloaded`` and the p99 latency of *admitted*
+    requests stays bounded by queue_timeout + a few service times."""
+
+    def test_overload_sheds_and_admitted_p99_stays_bounded(self):
+        service = 0.002
+        queue_timeout = 0.05
+        report = run_sim_bench(
+            WorkloadConfig(
+                seed=11, n_objects=8, object_size=512, n_ops=200,
+                rate=5000.0,  # far beyond 1/service per slot
+            ),
+            n_stripes=48,
+            service_latency=service,
+            max_inflight=2,
+            max_queue=8,
+            queue_timeout=queue_timeout,
+        )
+        assert report.shed > 0, "overload must shed, not queue unboundedly"
+        assert report.ok > 0, "admitted work must still complete"
+        # Every op's latency includes its queue wait; shed requests never
+        # reach the histograms, so the admitted tail must stay within
+        # the queue budget plus a handful of RMW service rounds.
+        bound = queue_timeout + 50 * service
+        for kind, stats in report.latency.items():
+            assert stats["p99"] <= bound, (kind, stats["p99"], bound)
+
+    def test_gentle_load_sheds_nothing(self):
+        report = run_sim_bench(
+            WorkloadConfig(seed=3, n_objects=6, object_size=256, n_ops=60,
+                           rate=100.0),
+            n_stripes=48,
+            service_latency=0.0005,
+            max_inflight=8,
+            max_queue=32,
+            queue_timeout=0.5,
+        )
+        assert report.shed == 0
+        assert report.ok == 60

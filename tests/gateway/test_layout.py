@@ -1,0 +1,118 @@
+"""The segment allocator: packing, spanning, and the free-map edge cases."""
+
+import pytest
+
+from repro.gateway.layout import Extent, NoSpaceError, ObjectMeta, StripeAllocator
+
+SB = 960  # stripe payload bytes of the k=3, p=5, 64B-element geometry
+
+
+class TestAllocate:
+    def test_zero_length_allocation_has_no_extents(self):
+        alloc = StripeAllocator(4, SB)
+        assert alloc.allocate(0) == []
+        assert alloc.free_bytes == alloc.capacity
+
+    def test_exact_stripe_fill_is_one_whole_stripe_extent(self):
+        alloc = StripeAllocator(4, SB)
+        (ext,) = alloc.allocate(SB)
+        assert (ext.start, ext.length) == (0, SB)
+        assert alloc.stripe_free(ext.stripe) == 0
+
+    def test_large_object_spans_three_stripes(self):
+        alloc = StripeAllocator(4, SB)
+        extents = alloc.allocate(2 * SB + 100)
+        assert len(extents) == 3
+        # The bulk takes whole stripes (full-stripe write path)...
+        assert [(e.start, e.length) for e in extents[:2]] == [(0, SB), (0, SB)]
+        # ...and only the tail is a partial extent.
+        assert extents[2].length == 100
+        assert len({e.stripe for e in extents}) == 3
+
+    def test_small_objects_pack_into_a_shared_stripe(self):
+        alloc = StripeAllocator(4, SB)
+        a = alloc.allocate(100)
+        b = alloc.allocate(200)
+        assert a[0].stripe == b[0].stripe  # packed, not one stripe each
+        assert b[0].start == a[0].length  # tightest fit: right after a
+
+    def test_small_allocations_prefer_partial_stripes_over_fresh_ones(self):
+        alloc = StripeAllocator(4, SB)
+        alloc.allocate(SB - 50)  # stripe 0 nearly full
+        ext = alloc.allocate(40)  # fits the 50-byte tail
+        assert (ext[0].stripe, ext[0].start) == (0, SB - 50)
+
+    def test_fragmentation_costs_extents_never_capacity(self):
+        # Free space exists only as sub-stripe fragments; a larger
+        # allocation must still succeed by splitting across them.
+        alloc = StripeAllocator(2, SB)
+        keep = alloc.allocate(SB - 10)  # stripe 0: 10 free
+        alloc.allocate(SB - 20)  # stripe 1: 20 free
+        assert alloc.free_bytes == 30
+        extents = alloc.allocate(30)
+        assert sum(e.length for e in extents) == 30
+        assert alloc.free_bytes == 0
+        assert keep  # still intact
+
+    def test_no_space_error_leaves_free_map_untouched(self):
+        alloc = StripeAllocator(1, SB)
+        alloc.allocate(SB - 1)
+        before = alloc.free_bytes
+        with pytest.raises(NoSpaceError):
+            alloc.allocate(2)
+        assert alloc.free_bytes == before
+        assert alloc.allocate(1)  # the last byte is still allocatable
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            StripeAllocator(1, SB).allocate(-1)
+
+    def test_deterministic_across_identical_call_sequences(self):
+        def run():
+            alloc = StripeAllocator(4, SB)
+            out = [alloc.allocate(n) for n in (100, SB, 500, 30, 2 * SB)]
+            alloc.release(out[2])
+            out.append(alloc.allocate(400))
+            return out
+
+        assert run() == run()
+
+
+class TestReleaseAndReserve:
+    def test_release_coalesces_neighbouring_segments(self):
+        alloc = StripeAllocator(1, SB)
+        a = alloc.allocate(300)
+        b = alloc.allocate(300)
+        alloc.release(a)
+        alloc.release(b)
+        # One whole-stripe segment again: an exact-fill must succeed.
+        (ext,) = alloc.allocate(SB)
+        assert (ext.start, ext.length) == (0, SB)
+
+    def test_reserve_claims_exact_ranges(self):
+        alloc = StripeAllocator(2, SB)
+        alloc.reserve([Extent(1, 100, 50)])
+        assert alloc.stripe_free(1) == SB - 50
+        with pytest.raises(ValueError):
+            alloc.reserve([Extent(1, 120, 10)])  # overlaps the claim
+
+    def test_failed_reserve_rolls_back_earlier_claims(self):
+        alloc = StripeAllocator(2, SB)
+        alloc.reserve([Extent(0, 0, 10)])
+        before = alloc.free_bytes
+        with pytest.raises(ValueError):
+            alloc.reserve([Extent(1, 0, 10), Extent(0, 5, 10)])
+        assert alloc.free_bytes == before  # the (1, 0, 10) claim undone
+
+
+class TestMeta:
+    def test_extent_round_trips_through_dict(self):
+        ext = Extent(3, 128, 77)
+        assert Extent.from_dict(ext.to_dict()) == ext
+
+    def test_object_meta_stripes_sorted_and_deduplicated(self):
+        meta = ObjectMeta(
+            name="x", size=10, crc=0,
+            extents=[Extent(2, 0, 4), Extent(0, 0, 4), Extent(2, 8, 2)],
+        )
+        assert meta.stripes == [0, 2]

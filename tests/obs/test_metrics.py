@@ -8,6 +8,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     default_registry,
+    quantiles_from_buckets,
     set_default_registry,
     to_prometheus,
 )
@@ -151,3 +152,80 @@ class TestPrometheus:
 
     def test_empty_snapshot_renders_empty(self):
         assert to_prometheus(MetricsRegistry().snapshot()) == ""
+
+
+class TestQuantilesFromBuckets:
+    """The interpolated estimator behind the workload driver's
+    p50/p90/p99 report, checked against exact percentiles."""
+
+    @staticmethod
+    def exact_percentile(values, q):
+        """Nearest-rank percentile: value at rank ceil(q * n)."""
+        import math
+
+        ordered = sorted(values)
+        rank = max(1, math.ceil(q * len(ordered)))
+        return ordered[rank - 1]
+
+    def test_estimates_track_exact_percentiles_within_bucket_width(self):
+        import random
+
+        rng = random.Random(42)
+        values = [rng.uniform(0.0001, 0.5) for _ in range(2000)]
+        h = Histogram("lat", base=1e-4)
+        for v in values:
+            h.observe(v)
+        for q in (0.5, 0.9, 0.99):
+            (est,) = h.quantiles([q])
+            exact = self.exact_percentile(values, q)
+            # The estimate lives inside the exact value's log2 bucket:
+            # off by at most one bucket width (a factor of two).
+            assert exact / 2 <= est <= exact * 2, (q, est, exact)
+
+    def test_interpolation_beats_upper_edge_inside_a_bucket(self):
+        # 100 observations spread uniformly across one bucket
+        # (0.8, 1.6]: the upper-edge quantile answers 1.6 for every q,
+        # the interpolated estimate moves through the bucket.
+        h = Histogram("lat", base=0.1)
+        for i in range(100):
+            h.observe(0.8 + (i + 0.5) * 0.008)
+        assert h.quantile(0.5) == pytest.approx(1.6)
+        p25, p50, p75 = h.quantiles([0.25, 0.5, 0.75])
+        assert 0.9 < p25 < 1.1
+        assert 1.15 < p50 < 1.25
+        assert 1.35 < p75 < 1.45
+
+    def test_monotone_in_q(self):
+        h = Histogram("lat", base=1e-4)
+        for v in (0.0001, 0.002, 0.002, 0.03, 0.4, 0.4, 5.0):
+            h.observe(v)
+        qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+        est = h.quantiles(qs)
+        assert est == sorted(est)
+
+    def test_empty_histogram_estimates_zero(self):
+        assert Histogram("lat").quantiles([0.5, 0.99]) == [0.0, 0.0]
+        assert quantiles_from_buckets(1e-4, [], [0.5]) == [0.0]
+
+    def test_all_mass_in_bucket_zero_interpolates_from_zero(self):
+        # Bucket 0 spans [0, base]: with 4 observations there, the
+        # median interpolates to base / 2, not the upper edge.
+        p50, p100 = quantiles_from_buckets(0.001, [4], [0.5, 1.0])
+        assert p50 == pytest.approx(0.0005)
+        assert p100 == pytest.approx(0.001)
+
+    def test_out_of_range_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            quantiles_from_buckets(1e-4, [1], [1.5])
+        h = Histogram("lat")
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.quantiles([-0.1])
+
+    def test_matches_histogram_delegation(self):
+        h = Histogram("lat", base=1e-3)
+        for v in (0.0005, 0.002, 0.002, 0.1):
+            h.observe(v)
+        assert h.quantiles([0.5, 0.9]) == quantiles_from_buckets(
+            1e-3, h.counts, [0.5, 0.9]
+        )

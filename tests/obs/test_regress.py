@@ -72,6 +72,10 @@ class TestPerfSuite:
         assert payload["quick"] is True
         assert "encode_xors/liberation-optimal/k6" in metrics
         assert "encode_gbps/liberation-optimal/k6/4KB" in metrics
+        # The object gateway reports into the same trajectory (sim-seam
+        # workload in quick mode; socket saturation joins in full mode).
+        assert "gateway_ops/sim/mixed" in metrics
+        assert "gateway_ops/socket/mixed" not in metrics
         # XOR counts are exact schedule properties: k=6 on p=7 obeys
         # the paper's 2w(k-1) encode bound for the optimal code.
         assert metrics["encode_xors/liberation-optimal/k6"]["value"] == 70.0
@@ -99,7 +103,7 @@ class TestRegressGate:
         regress(out_path=out, quick=True)
         deltas, _current, baseline = regress(out_path=out, quick=True)
         assert baseline is not None
-        assert len(deltas) == 6
+        assert len(deltas) == 7  # 4 xor + 2 throughput + gateway sim ops
         # XOR counts are deterministic, so those deltas are exactly 1.0.
         xor_deltas = [d for d in deltas if "xors" in d.metric]
         assert xor_deltas and all(d.ratio == 1.0 for d in xor_deltas)

@@ -271,3 +271,34 @@ class TestTrace:
         assert main(["trace", "--k", "4", "--p", "5", "--element-size", "64",
                      "--out", str(tmp_path / "t.json")]) == 0
         assert active_tracer() is None
+
+
+class TestGatewayBench:
+    def test_sim_mode_prints_table_and_digest(self, capsys):
+        assert main(["gateway", "bench", "--mode", "sim",
+                     "--seed", "5", "--ops", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "digest" in out
+        assert "60 ok" in out
+
+    def test_sim_json_digest_is_stable_across_invocations(self, capsys):
+        argv = ["gateway", "bench", "--mode", "sim", "--seed", "9",
+                "--ops", "50", "--json"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first["digest"] == second["digest"]
+        assert first["ok"] == 50 and first["mode"] == "sim"
+
+    def test_perf_flag_merges_into_bench_file(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["gateway", "bench", "--mode", "sim", "--ops", "40",
+                     "--perf"]) == 0
+        capsys.readouterr()
+        data = json.loads((tmp_path / "BENCH_perf.json").read_text())
+        assert "gateway_ops/sim/cli" in data["metrics"]
+
+    def test_fuzz_objects_flag_is_wired(self, capsys):
+        assert main(["sim", "fuzz", "--cases", "2", "--objects"]) == 0
+        assert "clean" in capsys.readouterr().out
