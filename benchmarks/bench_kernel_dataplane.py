@@ -1,0 +1,77 @@
+"""Kernel data plane vs the paper's streaming executor.
+
+Not a paper figure: this measures the repo's own fast path -- the
+levelized bulk-XOR ``KernelPlan`` over a word-packed batch of stripes
+-- against the streaming executor that the figure benches model the
+paper with, at the bench gate's acceptance geometries (fig. 10 encode
+``k=10 p=11`` and fig. 12 decode ``k=11 p=11``, 4 KB elements).
+
+The emitted series mirrors ``results/BENCH_perf.json``'s trajectory
+block so the checked-in gate numbers can be re-derived locally with
+``pytest benchmarks/bench_kernel_dataplane.py -q``.
+"""
+
+import pytest
+
+from repro.bench.throughput import measure_decode, measure_encode
+
+from conftest import emit
+
+#: The gate's operating point: 8 stripes word-packed per plan call.
+BATCH = 8
+
+GEOMETRIES = [
+    ("encode", 10),
+    ("decode", 11),
+]
+
+
+def _measure(op: str, k: int, execution: str, batch: int):
+    if op == "encode":
+        return measure_encode(
+            "liberation-optimal", k, element_size=4096,
+            inner=4, repeats=8, execution=execution, batch=batch,
+        )
+    return measure_decode(
+        "liberation-optimal", k, element_size=4096, max_pairs=3,
+        inner=3, repeats=6, execution=execution, batch=batch,
+    )
+
+
+@pytest.fixture(scope="module")
+def series():
+    rows = []
+    for op, k in GEOMETRIES:
+        streaming = _measure(op, k, "streaming", 1)
+        kernel = _measure(op, k, "kernel", BATCH)
+        rows.append(
+            {
+                "op": op,
+                "k": k,
+                "streaming": streaming.gbps,
+                "kernel": kernel.gbps,
+                "speedup": kernel.gbps / streaming.gbps,
+            }
+        )
+    return rows
+
+
+def test_kernel_dataplane_series(benchmark, series):
+    benchmark(lambda: None)
+    emit(
+        "kernel_dataplane",
+        series,
+        f"Kernel data plane: GB/s at p=11, 4KB elements, batch={BATCH}",
+    )
+    # The gate enforces >= 5x against frozen pre-kernel baselines; the
+    # in-run comparison only asserts a sane margin, so a noisy shared
+    # machine cannot fail the figure run itself.
+    for row in series:
+        assert row["speedup"] > 2.0, row
+
+
+@pytest.mark.parametrize("op,k", GEOMETRIES)
+@pytest.mark.parametrize("execution", ["streaming", "kernel"])
+def test_dataplane_kernel(benchmark, op, k, execution):
+    batch = BATCH if execution == "kernel" else 1
+    benchmark(lambda: _measure(op, k, execution, batch))

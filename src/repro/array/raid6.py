@@ -230,7 +230,7 @@ class RAID6Array:
                 if addr.stripe not in cache:
                     cache[addr.stripe] = self.read_stripe(addr.stripe)
                 elem = cache[addr.stripe][addr.column, addr.row]
-            out += elem.view(np.uint8)[lo:hi].tobytes()
+            out += elem.view(np.uint8)[lo:hi].data  # zero-copy view append
         return bytes(out)
 
     # -- failure handling ------------------------------------------------------------

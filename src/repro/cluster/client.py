@@ -477,8 +477,12 @@ class ClusterArray:
         return words.reshape(self.code.rows, -1)
 
     async def _store_strip(self, column: int, stripe: int, strip: np.ndarray) -> None:
+        # Ship a view, not a copy: the frame writer streams memoryviews
+        # straight to the socket (ascontiguousarray is a no-op for the
+        # usual stripe-column slice and keeps the buffer alive via the
+        # view for the rare strided caller).
         await self._column_request(
-            column, "put", {"stripe": stripe}, np.ascontiguousarray(strip).tobytes()
+            column, "put", {"stripe": stripe}, np.ascontiguousarray(strip).data
         )
 
     async def _gather_columns(
@@ -565,8 +569,10 @@ class ClusterArray:
 
     # -- byte-addressed user I/O -------------------------------------------
 
-    def _stripe_payload(self, buf: np.ndarray) -> bytes:
-        return buf[: self.code.k].tobytes()
+    def _stripe_payload(self, buf: np.ndarray) -> memoryview:
+        """Zero-copy byte view of the data columns (``buf`` is
+        C-contiguous, so its leading-column slice is too)."""
+        return memoryview(buf[: self.code.k]).cast("B")
 
     def _fill_data_columns(self, buf: np.ndarray, payload: bytes) -> None:
         code = self.code

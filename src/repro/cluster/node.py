@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.array.disk import DiskError, DiskFailedError, LatentSectorError, SimulatedDisk
 from repro.array.faults import NetworkFaultPlan
-from repro.cluster.protocol import ProtocolError, encode_frame, read_frame
+from repro.cluster.protocol import ProtocolError, encode_frame, frame_parts, read_frame
 from repro.obs.metrics import MetricsRegistry, to_prometheus
 from repro.obs.tracing import Tracer
 from repro.sim.clock import Clock, RealClock
@@ -259,45 +259,66 @@ class StripNode:
         if reply_header.get("status") == "err":
             self.metrics.counter("errors").inc()
 
-        frame = encode_frame(reply_header, reply_payload)
-        if verb in _DATA_VERBS and self.faults.consume("corrupt_frames"):
-            self.metrics.counter("injected_corruptions").inc()
-            frame = bytearray(frame)
-            frame[len(frame) // 2] ^= 0xFF  # lands in header/payload, CRC goes stale
-            frame = bytes(frame)
-        if verb in _DATA_VERBS and self.faults.consume("drop_mid_frame"):
-            self.metrics.counter("injected_drops").inc()
-            writer.write(frame[: len(frame) // 2])
-            with contextlib.suppress(ConnectionError):
-                await writer.drain()
-            return False
-        writer.write(frame)
-        self.metrics.counter("bytes_out").inc(len(frame))
+        corrupt = verb in _DATA_VERBS and self.faults.consume("corrupt_frames")
+        drop = verb in _DATA_VERBS and self.faults.consume("drop_mid_frame")
+        if corrupt or drop:
+            # Fault injection needs the materialised frame to mangle.
+            frame = encode_frame(reply_header, reply_payload)
+            if corrupt:
+                self.metrics.counter("injected_corruptions").inc()
+                frame = bytearray(frame)
+                frame[len(frame) // 2] ^= 0xFF  # header/payload bit, CRC goes stale
+                frame = bytes(frame)
+            if drop:
+                self.metrics.counter("injected_drops").inc()
+                writer.write(frame[: len(frame) // 2])
+                with contextlib.suppress(ConnectionError):
+                    await writer.drain()
+                return False
+            writer.write(frame)
+            self.metrics.counter("bytes_out").inc(len(frame))
+        else:
+            # Sunny-day path: stream the frame parts; a `get` reply's
+            # strip payload goes socket-ward as a view, never staged.
+            sent = 0
+            for part in frame_parts(reply_header, reply_payload):
+                if len(part):
+                    writer.write(part)
+                    sent += len(part)
+            self.metrics.counter("bytes_out").inc(sent)
         with contextlib.suppress(ConnectionError):
             await writer.drain()
         return verb != "shutdown"
 
     async def _reply(self, writer, header: dict, payload: bytes = b"") -> None:
-        frame = encode_frame(header, payload)
-        self.metrics.counter("bytes_out").inc(len(frame))
-        writer.write(frame)
+        sent = 0
+        for part in frame_parts(header, payload):
+            if len(part):
+                writer.write(part)
+                sent += len(part)
+        self.metrics.counter("bytes_out").inc(sent)
         with contextlib.suppress(ConnectionError):
             await writer.drain()
 
     # -- verb implementations ----------------------------------------------
 
-    def _serve(self, verb: str, header: dict, payload: bytes) -> tuple[dict, bytes]:
+    def _serve(
+        self, verb: str, header: dict, payload: bytes
+    ) -> tuple[dict, bytes | memoryview]:
         if verb == "ping":
             return {"status": "ok", "column": self.column}, b""
         if verb == "put":
             words = np.frombuffer(payload, dtype=WORD_DTYPE)
             stripe = int(header["stripe"])
             self.disk.write_strip(stripe, words)
-            self.checksums[stripe] = zlib.crc32(words.tobytes())
+            # Same bytes as words.tobytes(), without materialising them.
+            self.checksums[stripe] = zlib.crc32(payload)
             return {"status": "ok"}, b""
         if verb == "get":
             strip = self.disk.read_strip(int(header["stripe"]))
-            return {"status": "ok"}, strip.tobytes()
+            # A view over the stored strip: the reply writer streams it
+            # to the socket without a staging copy.
+            return {"status": "ok"}, np.ascontiguousarray(strip).data
         if verb == "scrub-read":
             return self._serve_scrub_read(header), b""
         if verb == "prepare":
@@ -384,7 +405,7 @@ class StripNode:
         """
         stripe = int(header["stripe"])
         strip = self.disk.read_strip(stripe)  # raises latent/disk-failed
-        actual = zlib.crc32(strip.tobytes())
+        actual = zlib.crc32(np.ascontiguousarray(strip).data)
         stored = self.checksums.setdefault(stripe, actual)
         if stored != actual:
             self.metrics.counter("scrub_crc_mismatches").inc()
@@ -440,7 +461,7 @@ class StripNode:
         if self.crashes.fires("commit-before-apply"):
             raise NodeCrashed(f"commit({txn}): crashed before applying")
         self.disk.write_strip(rec.stripe, rec.words)
-        self.checksums[rec.stripe] = zlib.crc32(rec.words.tobytes())
+        self.checksums[rec.stripe] = zlib.crc32(np.ascontiguousarray(rec.words).data)
         del self.intents[txn]
         self.txn_done[txn] = "committed"
         self.metrics.counter("txn_commits").inc()

@@ -46,10 +46,15 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "ProtocolError",
     "FrameChecksumError",
+    "frame_parts",
     "encode_frame",
     "read_frame",
     "write_frame",
 ]
+
+#: Anything the zero-copy payload path accepts (numpy's ``arr.data``
+#: memoryview included -- multi-dimensional views are flattened).
+Buffer = bytes | bytearray | memoryview
 
 #: Frame preamble; reject anything else immediately (protects the node
 #: from port scanners and stale peers speaking an older framing).
@@ -70,15 +75,34 @@ class FrameChecksumError(ProtocolError):
     """Frame arrived intact in length but failed its CRC-32."""
 
 
-def encode_frame(header: dict[str, Any], payload: bytes = b"") -> bytes:
-    """Serialise one frame to bytes."""
+def frame_parts(header: dict[str, Any], payload: Buffer = b"") -> tuple:
+    """One frame as ``(preamble, header, payload, crc)`` buffers.
+
+    The zero-copy seam: the payload buffer is passed through untouched
+    (a ``memoryview`` over a stripe column never gets staged through
+    ``bytes``), and the CRC is computed directly over it.  Callers
+    either write the parts individually (:func:`write_frame`) or join
+    them (:func:`encode_frame`) when a single ``bytes`` is needed.
+    """
+    if not isinstance(payload, (bytes, bytearray)):
+        # Flatten e.g. numpy's (rows, words) strip views; cast requires
+        # C-contiguity, which is also what the CRC and socket need.
+        payload = memoryview(payload).cast("B")
     hdr = json.dumps(header, separators=(",", ":")).encode()
     if len(hdr) > MAX_FRAME_BYTES or len(payload) > MAX_FRAME_BYTES:
         raise ProtocolError("frame exceeds MAX_FRAME_BYTES")
     crc = zlib.crc32(payload, zlib.crc32(hdr))
-    return b"".join(
-        (_PREAMBLE.pack(MAGIC, len(hdr), len(payload)), hdr, payload, _CRC.pack(crc))
+    return (
+        _PREAMBLE.pack(MAGIC, len(hdr), len(payload)),
+        hdr,
+        payload,
+        _CRC.pack(crc),
     )
+
+
+def encode_frame(header: dict[str, Any], payload: Buffer = b"") -> bytes:
+    """Serialise one frame to a single ``bytes``."""
+    return b"".join(frame_parts(header, payload))
 
 
 async def read_frame(reader: asyncio.StreamReader) -> tuple[dict[str, Any], bytes]:
@@ -109,8 +133,15 @@ async def read_frame(reader: asyncio.StreamReader) -> tuple[dict[str, Any], byte
 
 
 async def write_frame(
-    writer: asyncio.StreamWriter, header: dict[str, Any], payload: bytes = b""
+    writer: asyncio.StreamWriter, header: dict[str, Any], payload: Buffer = b""
 ) -> None:
-    """Encode and flush one frame."""
-    writer.write(encode_frame(header, payload))
+    """Encode and flush one frame (payload written without staging).
+
+    The transport copies whatever it cannot send immediately before
+    this returns, and ``drain()`` is awaited here, so callers may reuse
+    or mutate the payload buffer as soon as the coroutine completes.
+    """
+    for part in frame_parts(header, payload):
+        if len(part):
+            writer.write(part)
     await writer.drain()

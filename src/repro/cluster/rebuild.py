@@ -135,7 +135,7 @@ class RebuildScheduler:
             await asyncio.gather(
                 *(
                     replacement.request(
-                        "put", {"stripe": start + i}, batch[i, column].tobytes()
+                        "put", {"stripe": start + i}, batch[i, column].data
                     )
                     for i in range(stop - start)
                 )

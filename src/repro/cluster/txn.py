@@ -136,7 +136,7 @@ class TwoPhaseWriter:
             header = {"txn": txn, "stripe": stripe, "part": cols}
             try:
                 await self._rpc(
-                    col, "prepare", header, np.ascontiguousarray(buf[col]).tobytes()
+                    col, "prepare", header, np.ascontiguousarray(buf[col]).data
                 )
             except (NodeUnavailableError, RemoteDiskError):
                 skipped.append(col)

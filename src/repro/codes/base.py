@@ -27,7 +27,7 @@ from repro.engine import (
     compile_schedule,
     execute_bits,
 )
-from repro.obs.profile import schedule_span
+from repro.obs.profile import kernel_attrs, schedule_span
 from repro.obs.tracing import active_tracer
 from repro.utils.validation import check_element_size, check_erasures
 from repro.utils.words import alloc_stripe, element_words
@@ -175,15 +175,19 @@ class XorScheduleCode(RAID6Code):
 
     cache_decode_plans: bool = True
 
-    def __init__(self, k: int, *, element_size: int = 8, execution: str = "fused") -> None:
+    def __init__(self, k: int, *, element_size: int = 8, execution: str = "kernel") -> None:
         super().__init__(k, element_size=element_size)
-        if execution not in ("fused", "streaming"):
-            raise ValueError(f"execution must be 'fused' or 'streaming', got {execution!r}")
-        #: "fused" runs each destination's accumulation as one XOR-reduce
-        #: (fastest); "streaming" runs one region op per scheduled op,
-        #: mirroring Jerasure's execution model -- use it when measured
-        #: throughput should be proportional to schedule op counts, as in
-        #: the paper's Figs. 9-13.
+        if execution not in ("kernel", "fused", "streaming"):
+            raise ValueError(
+                f"execution must be 'kernel', 'fused' or 'streaming', got {execution!r}"
+            )
+        #: "kernel" lowers the schedule to levelized bulk-XOR slice
+        #: kernels (fastest; see :mod:`repro.engine.kernels`); "fused"
+        #: runs each destination's accumulation as one XOR-reduce;
+        #: "streaming" runs one region op per scheduled op, mirroring
+        #: Jerasure's execution model -- use it when measured throughput
+        #: should be proportional to schedule op counts, as in the
+        #: paper's Figs. 9-13.
         self.execution = execution
         self._encode_plan = None
         self._encode_sched: Schedule | None = None
@@ -195,7 +199,7 @@ class XorScheduleCode(RAID6Code):
     def _compile(self, sched: Schedule):
         if self.execution == "streaming":
             return StreamingSchedule(sched)
-        return compile_schedule(sched)
+        return compile_schedule(sched, kernel=self.execution == "kernel")
 
     # -- schedule builders (subclass API) ----------------------------------
 
@@ -232,9 +236,10 @@ class XorScheduleCode(RAID6Code):
         with schedule_span(
             tracer, "code.encode", code=self.name, xors=sched.n_xors,
             ops=len(sched), nbytes=int(buf.nbytes), cache=cache,
-        ):
+        ) as span:
             if self._encode_plan is None:
                 self._encode_plan = self._compile(sched)
+            kernel_attrs(span, self._encode_plan)
             return self._encode_plan.run(buf)
 
     def decode(self, buf: np.ndarray, erasures) -> np.ndarray:
@@ -270,12 +275,13 @@ class XorScheduleCode(RAID6Code):
             tracer, "code.decode", code=self.name, xors=stats[0],
             ops=stats[1], nbytes=int(buf.nbytes), cache=cache,
             erasures=",".join(map(str, ers)),
-        ):
+        ) as span:
             if plan is None:
                 plan = self._compile(sched)
                 if self.cache_decode_plans:
                     self._decode_plans[ers] = plan
                     self._decode_stats[ers] = stats
+            kernel_attrs(span, plan)
             return plan.run(buf)
 
     # -- bit-level coding (tests, exact semantics) ------------------------------

@@ -50,7 +50,7 @@ class BlaumRothCode(XorScheduleCode):
         p: int | None = None,
         element_size: int = 8,
         smart: bool = True,
-        execution: str = "fused",
+        execution: str = "kernel",
     ) -> None:
         self.p = check_prime_p(p if p is not None else next_prime(k + 1))
         check_k(k, self.p - 1, code="blaum-roth")

@@ -40,7 +40,7 @@ class CauchyRSCode(XorScheduleCode):
         w: int | None = None,
         good: bool = True,
         element_size: int = 8,
-        execution: str = "fused",
+        execution: str = "kernel",
     ) -> None:
         self.w = int(w) if w is not None else min_w_for(k)
         if k + 2 > (1 << self.w):

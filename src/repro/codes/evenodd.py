@@ -42,7 +42,7 @@ class EvenOddCode(XorScheduleCode):
     n_scratch = 1  # decode stages the adjuster S here
 
     def __init__(
-        self, k: int, *, p: int | None = None, element_size: int = 8, execution: str = "fused"
+        self, k: int, *, p: int | None = None, element_size: int = 8, execution: str = "kernel"
     ) -> None:
         self.p = check_prime_p(p if p is not None else prime_for_k(k))
         check_k(k, self.p, code="evenodd")

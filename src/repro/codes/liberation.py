@@ -41,7 +41,7 @@ class LiberationCode(XorScheduleCode):
     """Shared parameterisation for both Liberation variants."""
 
     def __init__(
-        self, k: int, *, p: int | None = None, element_size: int = 8, execution: str = "fused"
+        self, k: int, *, p: int | None = None, element_size: int = 8, execution: str = "kernel"
     ) -> None:
         self.p = check_prime_p(p if p is not None else prime_for_k(k))
         check_k(k, self.p, code="liberation")
@@ -118,7 +118,7 @@ class LiberationOriginal(LiberationCode):
         p: int | None = None,
         element_size: int = 8,
         smart: bool = True,
-        execution: str = "fused",
+        execution: str = "kernel",
     ) -> None:
         super().__init__(k, p=p, element_size=element_size, execution=execution)
         self.smart = bool(smart)

@@ -39,7 +39,7 @@ class RDPCode(XorScheduleCode):
     name = "rdp"
 
     def __init__(
-        self, k: int, *, p: int | None = None, element_size: int = 8, execution: str = "fused"
+        self, k: int, *, p: int | None = None, element_size: int = 8, execution: str = "kernel"
     ) -> None:
         self.p = check_prime_p(p if p is not None else next_prime(k + 1))
         check_k(k, self.p - 1, code="rdp")

@@ -9,7 +9,9 @@ a *schedule*: an ordered list of copy/XOR operations on stripe cells
   correctness tests and XOR counting), or
 * on machine-word arrays (``uint64`` element buffers; used for
   throughput benchmarks, 64 interleaved codewords per word as in the
-  paper §II-A).
+  paper §II-A), either op-at-a-time (streaming), per-destination
+  (fused), or lowered to levelized bulk-XOR slice kernels
+  (:mod:`repro.engine.kernels` -- the native-speed data plane).
 
 Keeping algorithms as schedule generators gives exact, implementation-
 independent XOR counts (a copy is free, each XOR'd source counts 1 --
@@ -26,6 +28,7 @@ from repro.engine.executor import (
     StreamingSchedule,
     compile_schedule,
 )
+from repro.engine.kernels import KernelOp, KernelPlan, compile_kernel
 from repro.engine.verify import ScheduleViolation, verify_schedule
 
 __all__ = [
@@ -36,6 +39,9 @@ __all__ = [
     "CompiledSchedule",
     "StreamingSchedule",
     "compile_schedule",
+    "KernelOp",
+    "KernelPlan",
+    "compile_kernel",
     "ScheduleViolation",
     "verify_schedule",
 ]

@@ -36,6 +36,8 @@ __all__ = [
     "execute_bits",
     "execute_words",
     "compile_schedule",
+    "fuse_schedule",
+    "assign_levels",
     "CompiledSchedule",
     "StreamingSchedule",
 ]
@@ -66,6 +68,34 @@ class _Group:
     dst: int  # flat cell index (col * rows + row)
     srcs: list[int]
     init_copy: bool  # True: first src overwrites dst; False: dst is live
+
+
+def assign_levels(groups: list[_Group]) -> list[tuple[int, _Group]]:
+    """Assign a dependency level to each fused group, in program order.
+
+    A group's level is strictly greater than the level of any group that
+    produced one of its inputs (RAW) and of any earlier group that read
+    or wrote its destination (WAR/WAW).  Consequence, relied on by every
+    level-at-once executor: **within one level no cell is both read and
+    written**, so the groups of a level may run in any order -- or as
+    one wide slice operation -- without changing the result.
+    """
+    write_level: dict[int, int] = {}  # cell -> level of its last writer
+    touch_level: dict[int, int] = {}  # cell -> last level reading/writing it
+    levelled: list[tuple[int, _Group]] = []
+    for g in groups:
+        lvl = 1
+        reads = list(g.srcs) if g.init_copy else [*g.srcs, g.dst]
+        for c in reads:
+            lvl = max(lvl, write_level.get(c, 0) + 1)
+        # WAR/WAW: run after anything that already touched our dst.
+        lvl = max(lvl, touch_level.get(g.dst, 0) + 1)
+        write_level[g.dst] = lvl
+        touch_level[g.dst] = max(touch_level.get(g.dst, 0), lvl)
+        for c in g.srcs:
+            touch_level[c] = max(touch_level.get(c, 0), lvl)
+        levelled.append((lvl, g))
+    return levelled
 
 
 class CompiledSchedule:
@@ -114,22 +144,7 @@ class CompiledSchedule:
         Returns ``(init_copy, dsts[g], srcs[g, m])`` batches in
         dependency-safe execution order.
         """
-        write_level: dict[int, int] = {}  # cell -> level of its last writer
-        touch_level: dict[int, int] = {}  # cell -> last level reading/writing it
-        levelled: list[tuple[int, _Group]] = []
-        for g in groups:
-            lvl = 1
-            reads = list(g.srcs) if g.init_copy else [*g.srcs, g.dst]
-            for c in reads:
-                lvl = max(lvl, write_level.get(c, 0) + 1)
-            # WAR/WAW: run after anything that already touched our dst.
-            lvl = max(lvl, touch_level.get(g.dst, 0) + 1)
-            write_level[g.dst] = lvl
-            touch_level[g.dst] = max(touch_level.get(g.dst, 0), lvl)
-            for c in g.srcs:
-                touch_level[c] = max(touch_level.get(c, 0), lvl)
-            levelled.append((lvl, g))
-
+        levelled = assign_levels(groups)
         buckets: dict[tuple[int, int, bool], list[_Group]] = {}
         for lvl, g in levelled:
             buckets.setdefault((lvl, len(g.srcs), g.init_copy), []).append(g)
@@ -176,14 +191,24 @@ class CompiledSchedule:
 
 
 def compile_schedule(
-    schedule: Schedule, *, batched: bool = False, validate: bool = False
-) -> CompiledSchedule:
+    schedule: Schedule,
+    *,
+    batched: bool = False,
+    validate: bool = False,
+    kernel: bool = False,
+):
     """Fuse a schedule into gather/reduce groups (see module docstring).
 
     ``batched`` selects the levelized one-call-per-level execution of
     :class:`CompiledSchedule` instead of the per-group default; both
     strategies are semantically identical (the differential fuzzer in
     :mod:`repro.sim` holds them to that).
+
+    ``kernel`` lowers further, to a :class:`~repro.engine.kernels.KernelPlan`
+    of contiguous-slice bulk XORs (see :mod:`repro.engine.kernels`) --
+    the production fast path.  ``validate`` applies to that lowering
+    too, proving the emitted kernel program cell-for-cell equivalent to
+    the source schedule.
 
     ``validate`` additionally *proves* the lowering correct: the fused
     group program (and, when ``batched``, the levelized batches) is
@@ -204,6 +229,12 @@ def compile_schedule(
     * a copy into a destination with an open group starts a fresh group
       (the old value is dead by definition of copy).
     """
+    if kernel:
+        # Imported lazily: kernels builds on the fusion/levelization
+        # machinery of this module, so a top-level import would cycle.
+        from repro.engine.kernels import compile_kernel
+
+        return compile_kernel(schedule, validate=validate)
     tracer = active_tracer()
     if tracer is not None:
         with tracer.span(
@@ -220,6 +251,16 @@ def compile_schedule(
 def _compile(
     schedule: Schedule, *, batched: bool, validate: bool
 ) -> CompiledSchedule:
+    compiled = CompiledSchedule(
+        schedule.cols, schedule.rows, fuse_schedule(schedule), batched=batched
+    )
+    if validate:
+        _validate_compilation(schedule, compiled)
+    return compiled
+
+
+def fuse_schedule(schedule: Schedule) -> list[_Group]:
+    """The fusion pass: program order in, hazard-safe group order out."""
     rows = schedule.rows
     open_groups: dict[int, _Group] = {}  # dst flat index -> group
     readers: dict[int, set[int]] = {}  # cell -> dsts of open groups reading it
@@ -267,10 +308,7 @@ def _compile(
 
     for dst in tuple(open_groups):
         flush(dst)
-    compiled = CompiledSchedule(schedule.cols, schedule.rows, order, batched=batched)
-    if validate:
-        _validate_compilation(schedule, compiled)
-    return compiled
+    return order
 
 
 def _validate_compilation(schedule: Schedule, compiled: CompiledSchedule) -> None:

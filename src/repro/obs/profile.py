@@ -11,6 +11,11 @@ these helpers make that visible at runtime.  Schedule executions
 * ``bytes`` -- stripe bytes the run touched;
 * ``cache`` -- plan-cache outcome (``"hit"``/``"miss"``) for the
   compiled-plan caches;
+* ``kernel_*`` -- lowering shape when the run used a levelized
+  bulk-XOR kernel plan (:mod:`repro.engine.kernels`): ``kernel_levels``,
+  ``kernel_bulk_calls``, ``kernel_ops``, ``kernel_max_width`` (widest
+  single bulk XOR, in source slices), ``kernel_cell_xors`` (always equal
+  to ``xors`` -- lowering conserves XOR work by construction);
 * ``mxors_per_s`` / ``gbps`` -- effective XOR throughput and byte
   throughput, derived from the span's measured duration at close (only
   when a real clock is injected; the logical-tick fallback yields
@@ -31,7 +36,24 @@ from collections.abc import Iterator
 
 from repro.obs.tracing import Span, Tracer
 
-__all__ = ["schedule_span", "finalize_rates"]
+__all__ = ["schedule_span", "finalize_rates", "kernel_attrs"]
+
+
+def kernel_attrs(span: Span, plan: object) -> None:
+    """Stamp a schedule span with the kernel plan's lowering shape.
+
+    Duck-typed on ``plan.stats()`` so the call site stays executor-
+    agnostic: fused and streaming plans have no ``stats`` and produce no
+    attributes.  ``kernel_ops`` replaces the stats key ``kernel_ops``
+    verbatim; the others gain the ``kernel_`` prefix, keeping the plain
+    ``xors``/``ops`` names reserved for schedule-level accounting.
+    """
+    stats = getattr(plan, "stats", None)
+    if stats is None:
+        return
+    for name, value in stats().items():
+        key = name if name.startswith("kernel_") else f"kernel_{name}"
+        span.set(key, value)
 
 
 def finalize_rates(span: Span) -> None:

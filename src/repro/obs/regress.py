@@ -19,6 +19,19 @@ file simply replaces the old), so the gate ratchets: CI restores the
 previous ``BENCH_perf.json`` from its cache, runs the gate as a soft
 warning on PRs, and hard-fails the nightly run.
 
+The full (non-``quick``) sweep also measures the **kernel data plane**
+(``execution="kernel"``, word-packed ``batch=8``) at the gate
+geometries -- fig. 10 encode ``k=10`` and fig. 12 decode ``k=11``,
+both ``p=11``/4 KB -- and derives ``kernel_speedup/*`` metrics against
+the pre-kernel streaming baselines frozen in
+:data:`KERNEL_BASELINE_GBPS`.  Those speedups are additionally held to
+an *absolute floor* (:data:`KERNEL_SPEEDUP_FLOOR`, the paper-repro
+target of >= 5x): unlike the ratchet, the floor applies on every run,
+including the first, with the same noise tolerance.  Quick mode skips
+the kernel sweep entirely -- its timing windows are too short for a
+floor to be meaningful, and the PR gate is soft anyway; the nightly
+full run is where the floor is hard.
+
 This module contains no wall-clock calls of its own: measurement
 happens inside :mod:`repro.bench` (the approved wall-clock seam), and
 run stamps come from :func:`repro.bench.wallclock.wall_time`.
@@ -41,9 +54,13 @@ from repro.utils.primes import prime_for_k
 __all__ = [
     "DEFAULT_PERF_PATH",
     "DEFAULT_TOLERANCE",
+    "KERNEL_BASELINE_GBPS",
+    "KERNEL_SPEEDUP_FLOOR",
+    "PerfFileError",
     "Delta",
     "run_perf_suite",
     "compare",
+    "check_floors",
     "load_perf",
     "save_perf",
     "regress",
@@ -56,6 +73,36 @@ DEFAULT_PERF_PATH = "BENCH_perf.json"
 
 #: Code families the gate watches (the paper's comparison pair).
 _FAMILIES = ("liberation-optimal", "liberation-original")
+
+#: Streaming data-plane throughput (GB/s) at the gate geometries,
+#: recorded *before* the kernel data plane landed (fig. 10 encode
+#: ``k=10 p=11`` and fig. 12 decode ``k=11 p=11``, 4 KB elements).
+#: Frozen constants, not re-measured: ``kernel_speedup/*`` divides the
+#: measured kernel throughput by these, so the speedup is "vs the
+#: pre-kernel repo", not "vs whatever the machine does today".
+KERNEL_BASELINE_GBPS = {"encode": 1.7606, "decode": 1.7959}
+
+#: Absolute floor on the ``kernel_speedup/*`` metrics (the >= 5x
+#: acceptance target for the kernel data plane).  Enforced by
+#: :func:`check_floors` with the gate's usual noise tolerance.
+KERNEL_SPEEDUP_FLOOR = 5.0
+
+#: Metric name -> required minimum value (direction: higher).
+FLOORS = {
+    "kernel_speedup/encode/p11/4KB": KERNEL_SPEEDUP_FLOOR,
+    "kernel_speedup/decode/p11/4KB": KERNEL_SPEEDUP_FLOOR,
+}
+
+
+class PerfFileError(ValueError):
+    """A perf baseline file exists but cannot serve as a baseline.
+
+    Raised for empty files, invalid JSON, and payloads without a
+    ``metrics`` map -- and for an *explicitly requested* baseline path
+    that does not exist.  ``repro bench regress`` maps this to its own
+    exit code (2) so CI can tell "baseline infrastructure broken" from
+    "performance regressed" (1) and "clean" (0).
+    """
 
 
 @dataclass(frozen=True)
@@ -147,6 +194,27 @@ def run_perf_suite(
                          max_pairs=2, inner=6, repeats=4 if quick else 5)
     put("decode_gbps/liberation-optimal/k6/4KB", res.gbps, "GB/s", "higher")
 
+    if not quick:
+        # Kernel data plane at the acceptance geometries: one compiled
+        # KernelPlan bound over a word-packed batch of 8 stripes (the
+        # operating point that amortises the per-call dispatch floor).
+        # Long best-of windows: the floor below is an absolute check,
+        # so these need to be the most noise-robust numbers in the
+        # suite.
+        progress("kernel data plane: encode k=10 p=11")
+        res = measure_encode("liberation-optimal", 10, element_size=4096,
+                             inner=4, repeats=24, execution="kernel", batch=8)
+        put("kernel_gbps/encode/p11/4KB", res.gbps, "GB/s", "higher")
+        put("kernel_speedup/encode/p11/4KB",
+            res.gbps / KERNEL_BASELINE_GBPS["encode"], "x", "higher")
+        progress("kernel data plane: decode k=11 p=11")
+        res = measure_decode("liberation-optimal", 11, element_size=4096,
+                             max_pairs=3, inner=3, repeats=16,
+                             execution="kernel", batch=8)
+        put("kernel_gbps/decode/p11/4KB", res.gbps, "GB/s", "higher")
+        put("kernel_speedup/decode/p11/4KB",
+            res.gbps / KERNEL_BASELINE_GBPS["decode"], "x", "higher")
+
     # Object-gateway cost: wall-clock ops/s of the sim-seam workload
     # (virtual clock + in-memory transport, so no sockets -- safe for
     # the quick/tier-1 path).  The op stream is deterministic, so this
@@ -219,12 +287,64 @@ def compare(baseline: dict, current: dict, *, tolerance: float = DEFAULT_TOLERAN
     return deltas
 
 
-def load_perf(path: str | pathlib.Path) -> dict | None:
-    """Load a ``BENCH_perf.json`` (None when absent)."""
+def check_floors(
+    current: dict, *, tolerance: float = DEFAULT_TOLERANCE
+) -> list[Delta]:
+    """Absolute-floor deltas for the current run's floored metrics.
+
+    Floors reuse :class:`Delta` with the floor as the "baseline", so
+    the verdict semantics (direction higher, noise tolerance) and the
+    report row match the ratchet's.  Unlike the ratchet, floors do not
+    need a previous run: a metric below its floor regresses even on the
+    first run.  Metrics the current run did not measure (quick mode)
+    are skipped.
+    """
+    deltas = []
+    metrics = current.get("metrics", {})
+    for name, floor in sorted(FLOORS.items()):
+        cur = metrics.get(name)
+        if cur is None:
+            continue
+        deltas.append(
+            Delta(
+                metric=f"{name} [floor]",
+                baseline=float(floor),
+                current=float(cur["value"]),
+                direction="higher",
+                tolerance=tolerance,
+            )
+        )
+    return deltas
+
+
+def load_perf(path: str | pathlib.Path, *, required: bool = False) -> dict | None:
+    """Load a ``BENCH_perf.json``.
+
+    An absent file returns ``None`` (the legitimate first-run case)
+    unless ``required`` -- an explicitly requested baseline that is
+    missing is an infrastructure error, not a first run.  A file that
+    exists but is empty, is not JSON, or lacks a ``metrics`` map raises
+    :class:`PerfFileError` in either mode: silently ratcheting past a
+    corrupt baseline would erase the trajectory it anchors.
+    """
     path = pathlib.Path(path)
     if not path.exists():
+        if required:
+            raise PerfFileError(f"baseline file not found: {path}")
         return None
-    return json.loads(path.read_text())
+    text = path.read_text()
+    if not text.strip():
+        raise PerfFileError(f"baseline file is empty: {path}")
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PerfFileError(f"baseline file is not valid JSON: {path} ({exc})") from exc
+    if not isinstance(payload, dict) or not isinstance(payload.get("metrics"), dict):
+        raise PerfFileError(
+            f"baseline file has no 'metrics' map: {path} "
+            "(expected a payload written by 'repro bench regress')"
+        )
+    return payload
 
 
 def save_perf(payload: dict, path: str | pathlib.Path) -> pathlib.Path:
@@ -248,10 +368,19 @@ def regress(
     ``baseline_path`` points elsewhere (CI restores its cached copy
     through that seam, and the 2x-slowdown test fixture injects its
     doctored baseline the same way).  First runs have no baseline and
-    return no deltas -- the gate only ever compares real measurements.
+    no ratchet deltas, but :func:`check_floors` still applies to
+    whatever floored metrics the run measured -- the >= 5x kernel
+    target holds from day one, not only relative to a previous run.
+    An explicit ``baseline_path`` that is missing or unreadable raises
+    :class:`PerfFileError` (the baseline load happens *before* the
+    measurement sweep, so a broken baseline fails fast).
     """
-    baseline = load_perf(baseline_path if baseline_path is not None else out_path)
+    if baseline_path is not None:
+        baseline = load_perf(baseline_path, required=True)
+    else:
+        baseline = load_perf(out_path)
     current = run_perf_suite(quick=quick, on_progress=on_progress)
     save_perf(current, out_path)
     deltas = compare(baseline, current, tolerance=tolerance) if baseline else []
+    deltas += check_floors(current, tolerance=tolerance)
     return deltas, current, baseline

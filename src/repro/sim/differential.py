@@ -14,8 +14,11 @@ random stripe through every pair:
 * **executor vs. executor** -- the same schedule run through
   :func:`~repro.engine.executor.execute_bits` (bit-plane reference),
   the fused :class:`~repro.engine.executor.CompiledSchedule` (per-group
-  and levelized-batch modes) and the op-at-a-time
-  :class:`~repro.engine.executor.StreamingSchedule`;
+  and levelized-batch modes), the op-at-a-time
+  :class:`~repro.engine.executor.StreamingSchedule`, and the levelized
+  bulk-XOR :class:`~repro.engine.kernels.KernelPlan` -- both on a
+  single stripe and bound wide over a word-packed two-stripe batch
+  (the kernel data plane's layout);
 * **round-trip** -- encode, erase any <= 2 columns, decode, compare to
   the original.
 
@@ -119,7 +122,8 @@ def _check_executors(sched, buf_ref: np.ndarray, what: str, case: StripeCase) ->
 
     ``buf_ref`` is the *input* stripe; the fused per-group compile is
     taken as the candidate baseline and every other strategy -- the
-    levelized batch mode, the streaming op-at-a-time engine, and the
+    levelized batch mode, the streaming op-at-a-time engine, the
+    bulk-XOR kernel plan (single-stripe and word-packed wide), and the
     bit-level reference on each of two probe bit-planes -- must match.
 
     Both compiles run with ``validate=True``, so the lowering is also
@@ -133,6 +137,19 @@ def _check_executors(sched, buf_ref: np.ndarray, what: str, case: StripeCase) ->
     streaming = StreamingSchedule(sched).run(buf_ref.copy())
     if not np.array_equal(fused, streaming):
         _diverge(f"{what}: fused-vs-streaming executor", case, fused, streaming)
+    kplan = compile_schedule(sched, kernel=True, validate=True)
+    kernel = kplan.run(buf_ref.copy())
+    if not np.array_equal(fused, kernel):
+        _diverge(f"{what}: fused-vs-kernel executor", case, fused, kernel)
+    # Kernel wide path: the same plan bound over a word-packed
+    # two-stripe batch (stripe i at words [i*w, (i+1)*w)) must leave
+    # the single-stripe result in both halves.
+    words = buf_ref.shape[2]
+    wide = kplan.run(np.concatenate([buf_ref, buf_ref], axis=2))
+    for lo in (0, words):
+        if not np.array_equal(fused, wide[:, :, lo:lo + words]):
+            _diverge(f"{what}: kernel wide path (stripe at word {lo})",
+                     case, fused, wide[:, :, lo:lo + words])
     # Bit-plane probe: a schedule is GF(2)-linear, so running the bit
     # reference on any single bit plane must equal that plane of the
     # word execution.  Plane 0 and the top plane bracket the word.

@@ -21,6 +21,7 @@ __all__ = [
     "WORD_DTYPE",
     "element_words",
     "bytes_to_words",
+    "words_view",
     "words_to_bytes",
     "random_words",
     "alloc_stripe",
@@ -46,20 +47,40 @@ def element_words(element_size: int) -> int:
     return element_size // WORD_BYTES
 
 
-def bytes_to_words(data: bytes | bytearray | memoryview) -> np.ndarray:
-    """View/copy a byte string as a ``uint64`` word vector.
-
-    The length must be a multiple of the word size; use padding at a
-    higher layer if arbitrary lengths are required (``repro.array``
-    handles that for user I/O).
-    """
-    buf = np.frombuffer(bytes(data), dtype=np.uint8)
+def _word_view(data: bytes | bytearray | memoryview) -> np.ndarray:
+    buf = np.frombuffer(data, dtype=np.uint8)
     if buf.size % WORD_BYTES:
         raise ValueError(
             f"byte length {buf.size} is not a multiple of the "
             f"{WORD_BYTES}-byte machine word"
         )
-    return buf.view(WORD_DTYPE).copy()
+    return buf.view(WORD_DTYPE)
+
+
+def bytes_to_words(data: bytes | bytearray | memoryview) -> np.ndarray:
+    """Copy a byte string into a fresh, writable ``uint64`` word vector.
+
+    Exactly one copy (straight from the caller's buffer into the new
+    array -- no intermediate ``bytes`` staging).  The length must be a
+    multiple of the word size; use padding at a higher layer if
+    arbitrary lengths are required (``repro.array`` handles that for
+    user I/O).  When the words are only ever *read* -- XOR sources on
+    the wire path -- use :func:`words_view` and skip the copy too.
+    """
+    return _word_view(data).copy()
+
+
+def words_view(data: bytes | bytearray | memoryview) -> np.ndarray:
+    """Zero-copy ``uint64`` view over a bytes-like object.
+
+    The wire path's input shape: received strip payloads feed coding as
+    XOR *sources*, which are never written, so a view straight over the
+    transport buffer is safe and saves the staging copy per strip.
+    Views over immutable buffers (``bytes``) come back read-only;
+    attempting to execute a schedule *into* one raises, which is the
+    correct failure for a miswired call site.
+    """
+    return _word_view(data)
 
 
 def words_to_bytes(words: np.ndarray) -> bytes:

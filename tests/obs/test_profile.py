@@ -105,6 +105,56 @@ class TestEngineIntegration:
         # And the audited count meets the paper's bound: 2w(k-1) XORs.
         assert span.attrs["xors"] == 2 * p * (p - 1)
 
+    def test_kernel_span_xor_work_matches_the_audited_count(self):
+        """Satellite acceptance: the kernel data plane's traced XOR
+        work at p=11 equals the optimality auditor's count -- on the
+        encode span *and* on a decode span, for both the schedule-level
+        ``xors`` attribute and the lowering's ``kernel_cell_xors``
+        (conservation made observable end to end)."""
+        p = 11
+        pattern = (0, p // 2)
+        audited = analyze_geometry(
+            "liberation-optimal", p, p, patterns=[pattern]
+        )
+        code = make_code("liberation-optimal", p, p=p, element_size=64)
+        assert code.execution == "kernel"  # the default data plane
+        buf = code.alloc_stripe()
+        t = Tracer()
+        with use_tracer(t):
+            code.encode(buf)
+            work = buf.copy()
+            for c in pattern:
+                work[c] = 0
+            code.decode(work, pattern)
+        (enc,) = t.find("code.encode")
+        assert enc.attrs["xors"] == audited["encode"]["n_xors"]
+        assert enc.attrs["kernel_cell_xors"] == audited["encode"]["n_xors"]
+        (dec,) = t.find("code.decode")
+        audited_dec = audited["decode"][0]["n_xors"]
+        assert dec.attrs["xors"] == audited_dec
+        assert dec.attrs["kernel_cell_xors"] == audited_dec
+
+    def test_kernel_spans_carry_the_lowering_shape(self):
+        code = make_code("liberation-optimal", 4, p=5, element_size=64)
+        buf = code.alloc_stripe()
+        t = Tracer()
+        with use_tracer(t):
+            code.encode(buf)
+        (span,) = t.find("code.encode")
+        plan = code._encode_plan
+        assert span.attrs["kernel_levels"] == plan.n_levels
+        assert span.attrs["kernel_bulk_calls"] == plan.n_calls
+        assert span.attrs["kernel_ops"] == len(plan.ops)
+        assert span.attrs["kernel_max_width"] == plan.max_width
+        # Streaming execution has no kernel plan, hence no kernel attrs.
+        scode = make_code("liberation-optimal", 4, p=5, element_size=64,
+                          execution="streaming")
+        t2 = Tracer()
+        with use_tracer(t2):
+            scode.encode(scode.alloc_stripe())
+        assert not any(a.startswith("kernel_")
+                       for a in t2.find("code.encode")[0].attrs)
+
     def test_decode_hit_spans_report_stats_without_rebuild(self):
         code = make_code("liberation-optimal", 4, p=5, element_size=64)
         buf = code.alloc_stripe()

@@ -8,7 +8,11 @@ import pytest
 from repro.cli import main
 from repro.obs.regress import (
     DEFAULT_TOLERANCE,
+    FLOORS,
+    KERNEL_SPEEDUP_FLOOR,
     Delta,
+    PerfFileError,
+    check_floors,
     compare,
     load_perf,
     regress,
@@ -129,6 +133,13 @@ class TestRegressGate:
                    "--baseline", str(baseline)])
         assert rc == 1
 
+    def test_quick_mode_measures_no_kernel_metrics(self, tmp_path):
+        # The floor metrics need long timing windows; quick mode (the
+        # PR soft gate / test suite path) must not pretend to measure
+        # them, or the floor would gate on noise.
+        _deltas, current, _ = regress(out_path=tmp_path / "p.json", quick=True)
+        assert not any(n.startswith("kernel_") for n in current["metrics"])
+
     def test_xor_count_increase_trips_the_gate(self, tmp_path):
         out = tmp_path / "BENCH_perf.json"
         regress(out_path=out, quick=True)
@@ -142,3 +153,90 @@ class TestRegressGate:
         deltas, _, _ = regress(out_path=out, baseline_path=baseline,
                                tolerance=DEFAULT_TOLERANCE, quick=True)
         assert any(d.metric == key and d.regressed for d in deltas)
+
+
+class TestKernelFloors:
+    """The >= 5x kernel-speedup floor: absolute, first-run inclusive."""
+
+    @staticmethod
+    def _payload(**values):
+        return {"schema": 1, "metrics": {
+            name: {"value": value, "unit": "x", "direction": "higher"}
+            for name, value in values.items()}}
+
+    def test_floor_names_cover_encode_and_decode(self):
+        assert FLOORS == {
+            "kernel_speedup/encode/p11/4KB": KERNEL_SPEEDUP_FLOOR,
+            "kernel_speedup/decode/p11/4KB": KERNEL_SPEEDUP_FLOOR,
+        }
+        assert KERNEL_SPEEDUP_FLOOR == 5.0
+
+    def test_above_floor_passes(self):
+        payload = self._payload(**{name: 5.3 for name in FLOORS})
+        deltas = check_floors(payload)
+        assert len(deltas) == len(FLOORS)
+        assert not any(d.regressed for d in deltas)
+        assert all(d.metric.endswith("[floor]") for d in deltas)
+
+    def test_below_floor_minus_tolerance_regresses(self):
+        bad = KERNEL_SPEEDUP_FLOOR * (1 - DEFAULT_TOLERANCE) - 0.01
+        payload = self._payload(**{name: bad for name in FLOORS})
+        assert all(d.regressed for d in check_floors(payload))
+
+    def test_within_tolerance_of_floor_passes(self):
+        # The floor shares the ratchet's noise semantics: a contended
+        # machine measuring 4.4x against a 5.0 floor is within the 15%
+        # band, not a regression.
+        near = KERNEL_SPEEDUP_FLOOR * (1 - DEFAULT_TOLERANCE) + 0.01
+        payload = self._payload(**{name: near for name in FLOORS})
+        assert not any(d.regressed for d in check_floors(payload))
+
+    def test_unmeasured_metrics_are_skipped(self):
+        assert check_floors({"schema": 1, "metrics": {}}) == []
+
+
+class TestPerfFileErrors:
+    """Satellite: missing/empty baseline files get their own exit path."""
+
+    def test_explicit_missing_baseline_is_exit_2(self, tmp_path, capsys):
+        rc = main(["bench", "regress", "--quick",
+                   "--out", str(tmp_path / "out.json"),
+                   "--baseline", str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "bench gate ERROR" in capsys.readouterr().out
+        # Fails fast: nothing was measured, so nothing was written.
+        assert not (tmp_path / "out.json").exists()
+
+    def test_empty_baseline_is_exit_2(self, tmp_path, capsys):
+        empty = tmp_path / "empty.json"
+        empty.write_text("")
+        rc = main(["bench", "regress", "--quick",
+                   "--out", str(tmp_path / "out.json"),
+                   "--baseline", str(empty)])
+        assert rc == 2
+        assert "empty" in capsys.readouterr().out
+
+    def test_invalid_json_baseline_is_exit_2(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        rc = main(["bench", "regress", "--quick",
+                   "--out", str(tmp_path / "out.json"), "--baseline", str(bad)])
+        assert rc == 2
+
+    def test_metricsless_baseline_is_exit_2(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": 1}))
+        rc = main(["bench", "regress", "--quick",
+                   "--out", str(tmp_path / "out.json"), "--baseline", str(bad)])
+        assert rc == 2
+
+    def test_load_perf_raises_on_corrupt_default_path(self, tmp_path):
+        # Even the non-required path refuses to ratchet past a corrupt
+        # trajectory file (absent stays a clean first run).
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text("  ")
+        with pytest.raises(PerfFileError):
+            load_perf(path)
+        assert load_perf(tmp_path / "absent.json") is None
+        with pytest.raises(PerfFileError):
+            load_perf(tmp_path / "absent.json", required=True)

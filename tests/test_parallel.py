@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.codes import make_code
-from repro.parallel import BatchCoder, alloc_batch, iter_batches
+from repro.parallel import BatchCoder, alloc_batch, alloc_word_batch, iter_batches
 
 
 class TestIterBatches:
@@ -107,3 +107,79 @@ class TestDecode:
         BatchCoder(code).encode(batch)
         with pytest.raises(ValueError):
             BatchCoder(code, workers=2).decode(batch, [0, 1, 2])  # 3 erasures
+
+    def test_empty_erasure_list_is_a_no_op(self, code, rng):
+        batch = filled_batch(code, 3, rng)
+        BatchCoder(code).encode(batch)
+        ref = batch.copy()
+        BatchCoder(code).decode(batch, [])
+        assert np.array_equal(batch, ref)
+
+
+class TestKernelWidePath:
+    """The zero-copy wide path: one bound plan over the whole batch."""
+
+    def test_wide_path_matches_fused_per_stripe(self, rng):
+        kcode = make_code("liberation-optimal", 4, p=5, element_size=64)
+        fcode = make_code(
+            "liberation-optimal", 4, p=5, element_size=64, execution="fused"
+        )
+        assert kcode.execution == "kernel"
+        batch = filled_batch(kcode, 9, rng)
+        expect = batch.copy()
+        for i in range(9):
+            fcode.encode(expect[i])
+        BatchCoder(kcode).encode(batch)
+        assert np.array_equal(batch, expect)
+        ref = batch.copy()
+        batch[:, 0] = 0
+        batch[:, 2] = 0
+        BatchCoder(kcode, workers=3).decode(batch, [0, 2])
+        assert np.array_equal(batch, ref)
+
+    def test_wide_path_only_engages_for_kernel_execution(self, rng):
+        kcode = make_code("liberation-optimal", 4, p=5, element_size=64)
+        scode = make_code(
+            "liberation-optimal", 4, p=5, element_size=64, execution="streaming"
+        )
+        assert BatchCoder(kcode)._wide_plan(None) is not None
+        assert BatchCoder(scode)._wide_plan(None) is None
+        # Streaming still encodes correctly through the per-stripe loop.
+        batch = filled_batch(scode, 3, rng)
+        BatchCoder(scode).encode(batch)
+        assert all(scode.verify(batch[i]) for i in range(3))
+
+    def test_view_cache_reuses_the_bound_view(self, code, rng):
+        coder = BatchCoder(code)
+        batch = filled_batch(code, 5, rng)
+        v1 = coder._wide_view(batch, 0, 5)
+        v2 = coder._wide_view(batch, 0, 5)
+        assert v1 is v2  # same object => the plan's bound program hits
+        assert v1.base is batch  # and it is a view, not a copy
+
+    def test_view_cache_is_bounded_and_identity_checked(self, code, rng):
+        coder = BatchCoder(code)
+        for _ in range(7):
+            coder._wide_view(filled_batch(code, 2, rng), 0, 2)
+        assert len(coder._views) <= 4
+        # A new batch recycled onto a cached id must not serve the old
+        # view: the cache stores (batch, view) and checks identity.
+        batch = filled_batch(code, 2, rng)
+        view = coder._wide_view(batch, 0, 2)
+        assert coder._wide_view(batch, 0, 2) is view
+
+
+class TestWordPackedBatch:
+    def test_alloc_word_batch_shape(self, code):
+        buf = alloc_word_batch(code, 3)
+        assert buf.shape == (code.total_cols, code.rows, 3 * 8)
+        with pytest.raises(ValueError):
+            alloc_word_batch(code, 0)
+
+    def test_one_plan_call_codes_every_packed_stripe(self, code, rng):
+        buf = alloc_word_batch(code, 4)
+        buf[: code.k] = rng.integers(0, 2**64, buf[: code.k].shape, dtype=np.uint64)
+        code._encode_plan = code._compile(code.encode_schedule())
+        code._encode_plan.run(buf)
+        for i in range(4):
+            assert code.verify(np.ascontiguousarray(buf[:, :, i * 8 : (i + 1) * 8]))

@@ -11,6 +11,7 @@ from repro.utils.words import (
     element_words,
     random_words,
     words_to_bytes,
+    words_view,
 )
 
 
@@ -43,6 +44,29 @@ class TestByteConversion:
         w = bytes_to_words(data)
         data[0] = 0xFF
         assert w[0] == 0  # not a view of the caller's buffer
+
+
+class TestWordsView:
+    def test_is_a_view_not_a_copy(self):
+        data = bytearray(16)
+        w = words_view(data)
+        data[0] = 0xFF
+        assert w[0] == 0xFF
+
+    def test_bytes_views_are_read_only(self):
+        w = words_view(b"\x00" * 16)
+        assert not w.flags.writeable
+        with pytest.raises(ValueError):
+            w[0] = 1
+
+    def test_rejects_partial_word(self):
+        with pytest.raises(ValueError):
+            words_view(b"\x00" * 9)
+
+    def test_matches_copying_conversion(self):
+        data = bytes(range(WORD_BYTES * 5))
+        assert np.array_equal(words_view(data), bytes_to_words(data))
+        assert words_view(data).dtype == WORD_DTYPE
 
 
 class TestRandomWords:
