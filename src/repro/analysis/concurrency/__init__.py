@@ -1,0 +1,123 @@
+"""Concurrency & zero-copy aliasing analyzer.
+
+Four whole-project static passes over the tree that the symbolic
+schedule prover cannot see -- the *Python around the schedules*:
+
+========  ====================================================
+pass      question it answers
+========  ====================================================
+async     can any coroutine stall the event loop or strand a
+          peer? (:mod:`.asynclint`, ``ASY1xx``)
+locks     can two tasks deadlock on the asyncio lock web, or one
+          task on itself? (:mod:`.lockgraph`, ``LCK2xx``)
+views     can a borrowed memoryview outlive its loan or watch its
+          buffer change mid-read? (:mod:`.viewescape`, ``MVE3xx``)
+protocol  is the verb surface closed -- every caller handled,
+          every handler called, every crash point swept?
+          (:mod:`.protocol_model`, ``PRO4xx``)
+========  ====================================================
+
+All passes share one escape-hatch discipline (:mod:`.findings`):
+inline ``# conc: ok[CODE] why`` suppressions and a checked
+``baseline.txt`` whose stale entries fail the build (``BASE001``).
+The static story is cross-checked at runtime by :mod:`.sanitizer`
+(``REPRO_ALIAS_SANITIZER=1``), which fingerprints views at handoff and
+re-verifies them after the transport drains -- a write the dataflow
+missed surfaces as a hard failure in the differential/chaos fuzzers.
+
+Entry point: :func:`run_concurrency_analysis`, wired into
+``repro analyze --concurrency`` and CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.concurrency.asynclint import (
+    lint_async_project,
+    lint_async_source,
+)
+from repro.analysis.concurrency.findings import (
+    Finding,
+    apply_baseline,
+    load_baseline,
+)
+from repro.analysis.concurrency.lockgraph import (
+    analyze_lock_order,
+    analyze_lock_order_sources,
+)
+from repro.analysis.concurrency.protocol_model import check_protocol
+from repro.analysis.concurrency.viewescape import (
+    scan_views_project,
+    scan_views_source,
+)
+
+__all__ = [
+    "Finding",
+    "ConcurrencyReport",
+    "run_concurrency_analysis",
+    "lint_async_source",
+    "lint_async_project",
+    "analyze_lock_order",
+    "analyze_lock_order_sources",
+    "scan_views_source",
+    "scan_views_project",
+    "check_protocol",
+]
+
+#: pass name -> runner; order is report order
+_PASSES = ("async", "locks", "views", "protocol")
+
+
+@dataclass
+class ConcurrencyReport:
+    """Outcome of one full four-pass run."""
+
+    #: findings not covered by the baseline -- must be empty to pass
+    findings: list[Finding] = field(default_factory=list)
+    #: findings matched (and justified) by baseline entries
+    baselined: list[Finding] = field(default_factory=list)
+    #: raw per-pass finding counts, before baseline subtraction
+    per_pass: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "findings": [f.to_dict() for f in self.findings],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "per_pass": dict(self.per_pass),
+        }
+
+
+def run_concurrency_analysis(
+    root: Path | None = None,
+    *,
+    tests_root: Path | None = None,
+    baseline_path: Path | None = None,
+) -> ConcurrencyReport:
+    """Run all four passes and fold in the baseline.
+
+    ``root`` defaults to the installed ``repro`` package; passes apply
+    their own seams (``bench`` everywhere; ``analysis`` additionally for
+    the view/protocol sweeps, which reason *about* buffers and verbs and
+    would otherwise flag their own test vocabulary).
+    """
+    raw: dict[str, list[Finding]] = {
+        "async": lint_async_project(root),
+        "locks": analyze_lock_order(root),
+        "views": scan_views_project(root),
+        "protocol": check_protocol(root, tests_root),
+    }
+    all_findings = [f for name in _PASSES for f in raw[name]]
+    baseline = load_baseline(baseline_path)
+    new, old = apply_baseline(all_findings, baseline)
+    return ConcurrencyReport(
+        findings=sorted(new, key=lambda f: (f.path, f.line, f.code)),
+        baselined=sorted(old, key=lambda f: (f.path, f.line, f.code)),
+        per_pass={name: len(raw[name]) for name in _PASSES},
+    )

@@ -1,0 +1,258 @@
+"""Pass 1: async-safety lint over the project's coroutine code.
+
+An asyncio data plane has exactly one thread of execution; a blocking
+call inside a coroutine stalls every request in flight -- the cluster's
+heartbeats miss, breakers trip, deadlines blow, and none of it shows up
+in unit tests that never run two requests at once.  This pass walks
+every ``async def`` in the tree and flags:
+
+* ``ASY101`` -- a blocking sleep (``time.sleep``) inside a coroutine;
+  the event loop stalls for the whole duration.  Use
+  ``await clock.sleep(...)`` through the injectable sim clock.
+* ``ASY102`` -- synchronous file/socket I/O inside a coroutine:
+  ``open()``, ``pathlib`` read/write helpers, ``socket.socket``.
+  One slow disk or peer freezes the loop.
+* ``ASY103`` -- ``.result()`` on a future inside a coroutine.
+  ``concurrent.futures.Future.result`` *blocks*; asyncio tasks raise
+  ``InvalidStateError`` unless already done.  The call is acquitted
+  when the same function visibly guards it with ``x.done()`` on the
+  same receiver (the hedged-request pattern) -- that is the one shape
+  where ``.result()`` is both safe and idiomatic.
+* ``ASY104`` -- an unawaited coroutine call used as a bare statement:
+  the coroutine object is created, never scheduled, and the work
+  silently does not happen.  Only calls that resolve to ``async def``
+  functions *defined in the same module* are flagged (zero guessing
+  about third-party return types).
+* ``ASY105`` -- ``await`` while holding a **synchronous** lock
+  (``with threading.Lock(): ... await ...``).  The lock is held across
+  a suspension point, so any other task -- or thread -- that needs it
+  deadlocks against a coroutine that may never be resumed.
+
+The pass is wall-clock-adjacent to the sim-seam AST lint but answers a
+different question: not "is time injectable" but "can this coroutine
+stall the loop or strand a peer".
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.concurrency.findings import (
+    Finding,
+    apply_suppressions,
+    iter_modules,
+)
+
+__all__ = ["ASYNC_SEAMS", "lint_async_source", "lint_async_project"]
+
+#: ``repro.bench`` owns wall-clock measurement and runs no event loop
+#: of consequence; everything else is swept, the sim included (its
+#: transports host the same coroutines production runs).
+ASYNC_SEAMS: tuple[str, ...] = ("bench",)
+
+#: Blocking calls by resolved dotted name.
+_BLOCKING_SLEEPS = frozenset({"time.sleep"})
+_BLOCKING_IO_CALLS = frozenset({"open", "socket.socket", "socket.create_connection"})
+#: Blocking method names on any receiver (pathlib and file objects).
+_BLOCKING_IO_METHODS = frozenset(
+    {"read_text", "write_text", "read_bytes", "write_bytes"}
+)
+#: Sync-lock constructors whose ``with`` must not span an ``await``.
+_SYNC_LOCKS = frozenset(
+    {"threading.Lock", "threading.RLock", "threading.Condition",
+     "threading.Semaphore", "threading.BoundedSemaphore", "multiprocessing.Lock"}
+)
+
+
+def _qualname(expr: ast.expr, aliases: dict[str, str]) -> str | None:
+    parts: list[str] = []
+    while isinstance(expr, ast.Attribute):
+        parts.append(expr.attr)
+        expr = expr.value
+    if not isinstance(expr, ast.Name):
+        return None
+    parts.append(aliases.get(expr.id, expr.id))
+    return ".".join(reversed(parts))
+
+
+def _receiver_name(expr: ast.expr) -> str | None:
+    """``x.result()`` -> ``x``; ``self.a.result()`` -> ``self.a``."""
+    if isinstance(expr, ast.Attribute):
+        try:
+            return ast.unparse(expr.value)
+        except Exception:  # pragma: no cover - unparse is total on exprs
+            return None
+    return None
+
+
+class _AsyncVisitor(ast.NodeVisitor):
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.findings: list[Finding] = []
+        self.aliases: dict[str, str] = {}
+        #: names of ``async def`` functions/methods defined in this module
+        self.local_async: set[str] = set()
+        self._async_depth = 0
+
+    # -- imports -------------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name.split(".")[0]] = (
+                alias.name if alias.asname else alias.name.split(".")[0]
+            )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                self.aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+        self.generic_visit(node)
+
+    # -- function context ----------------------------------------------------
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self.local_async.add(node.name)
+        self._async_depth += 1
+        self._done_guarded = getattr(self, "_done_guarded", set())
+        saved = self._done_guarded
+        self._done_guarded = _done_receivers(node)
+        try:
+            self.generic_visit(node)
+        finally:
+            self._done_guarded = saved
+            self._async_depth -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # A sync def nested in an async def is its own (non-async) world.
+        depth, self._async_depth = self._async_depth, 0
+        try:
+            self.generic_visit(node)
+        finally:
+            self._async_depth = depth
+
+    # -- checks --------------------------------------------------------------
+
+    def _flag(self, node: ast.AST, code: str, symbol: str, message: str) -> None:
+        self.findings.append(
+            Finding(code, self.path, getattr(node, "lineno", 0), symbol, message)
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._async_depth:
+            full = _qualname(node.func, self.aliases)
+            if full in _BLOCKING_SLEEPS:
+                self._flag(
+                    node, "ASY101", full,
+                    "blocking sleep inside a coroutine stalls the event loop; "
+                    "await the injectable clock's sleep instead",
+                )
+            elif full in _BLOCKING_IO_CALLS:
+                self._flag(
+                    node, "ASY102", full,
+                    "synchronous I/O inside a coroutine blocks every task in "
+                    "flight; move it off the loop or behind an executor",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _BLOCKING_IO_METHODS
+            ):
+                self._flag(
+                    node, "ASY102", node.func.attr,
+                    "synchronous file I/O inside a coroutine blocks the event "
+                    "loop; move it off the loop or behind an executor",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "result"
+                and not node.args
+                and not node.keywords
+            ):
+                recv = _receiver_name(node.func)
+                if recv is None or recv not in getattr(self, "_done_guarded", set()):
+                    self._flag(
+                        node, "ASY103", f"{recv or '?'}.result",
+                        "future.result() blocks (or raises) inside a coroutine; "
+                        "await the future, or guard with .done() first",
+                    )
+        self.generic_visit(node)
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        # A bare `self.coro()` / `coro()` statement: created, never awaited.
+        call = node.value
+        if self._async_depth and isinstance(call, ast.Call):
+            name = None
+            if isinstance(call.func, ast.Name):
+                name = call.func.id
+            elif isinstance(call.func, ast.Attribute) and isinstance(
+                call.func.value, ast.Name
+            ) and call.func.value.id == "self":
+                name = call.func.attr
+            if name in self.local_async:
+                self._flag(
+                    node, "ASY104", name,
+                    "coroutine called but never awaited: the call builds a "
+                    "coroutine object and drops it -- the work does not run",
+                )
+        self.generic_visit(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        if self._async_depth:
+            for item in node.items:
+                ctx = item.context_expr
+                target = ctx.func if isinstance(ctx, ast.Call) else ctx
+                full = _qualname(target, self.aliases)
+                if full in _SYNC_LOCKS and _contains_await(node.body):
+                    self._flag(
+                        node, "ASY105", full,
+                        "await while holding a synchronous lock: the lock is "
+                        "held across a suspension point, deadlocking any other "
+                        "task or thread that needs it",
+                    )
+        self.generic_visit(node)
+
+
+def _contains_await(body: list[ast.stmt]) -> bool:
+    """Any Await in these statements, not crossing function boundaries."""
+    for stmt in body:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(sub, ast.Await):
+                return True
+    return False
+
+
+def _done_receivers(func: ast.AsyncFunctionDef) -> set[str]:
+    """Receivers with a visible ``.done()`` call anywhere in ``func``."""
+    guarded: set[str] = set()
+    for sub in ast.walk(func):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr == "done"
+        ):
+            recv = _receiver_name(sub.func)
+            if recv is not None:
+                guarded.add(recv)
+    return guarded
+
+
+def lint_async_source(source: str, path: str) -> list[Finding]:
+    """Lint one module's source; inline suppressions applied."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding("ASY100", path, exc.lineno or 0, "syntax", str(exc.msg))]
+    visitor = _AsyncVisitor(path)
+    visitor.visit(tree)
+    kept, _ = apply_suppressions(visitor.findings, source)
+    return kept
+
+
+def lint_async_project(root=None, *, seams: tuple[str, ...] = ASYNC_SEAMS) -> list[Finding]:
+    """Lint every module under ``root`` (default: installed package)."""
+    findings: list[Finding] = []
+    for rel, source in iter_modules(root, seams=seams):
+        findings.extend(lint_async_source(source, rel))
+    return findings

@@ -1,0 +1,202 @@
+"""Shared plumbing for the concurrency analyzer's findings.
+
+Every pass in :mod:`repro.analysis.concurrency` reports through the
+same three-layer escape hatch discipline, mirroring how production
+linters stay honest at scale:
+
+1. **Findings** are structured (:class:`Finding`): a stable code
+   (``ASY101``, ``LCK201``, ...), a path, a line, the offending symbol
+   and a human message.  Codes are stable across releases so baselines
+   and suppressions survive refactors.
+2. **Inline suppressions** -- a ``# conc: ok[CODE]`` comment on the
+   flagged line (our ``# noqa``-equivalent) acquits exactly that line.
+   A bare ``# conc: ok`` acquits every code on the line; both forms
+   should carry a justification after the bracket, e.g.::
+
+       self._bound[key] = (buf, prog)  # conc: ok[MVE301] cache pins buf
+
+3. **The baseline file** (``baseline.txt`` next to this module) grand-
+   fathers known findings by ``(code, path, symbol)`` -- line numbers
+   deliberately excluded so unrelated edits do not churn it.  The
+   baseline is *checked*: an entry matching nothing in the current
+   tree is itself reported (``BASE001``), so the file can only shrink
+   as violations are fixed, never silently rot.
+
+``iter_modules`` applies the same seam-boundary rule the sim-seam AST
+lint settled on: a seam entry ``"sim"`` exempts ``sim/...`` and
+``sim.py`` but never a sibling like ``simulators/``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "Finding",
+    "parse_suppressions",
+    "apply_suppressions",
+    "load_baseline",
+    "apply_baseline",
+    "iter_modules",
+    "seam_match",
+    "project_root",
+]
+
+#: ``# conc: ok`` or ``# conc: ok[ASY101]`` or ``# conc: ok[ASY101,MVE301] why``
+_SUPPRESS_RE = re.compile(
+    r"#\s*conc:\s*ok(?:\[(?P<codes>[A-Z]{3,4}\d{3}(?:\s*,\s*[A-Z]{3,4}\d{3})*)\])?"
+)
+
+#: baseline line: ``CODE<ws>path<ws>symbol  # justification``
+_BASELINE_RE = re.compile(
+    r"^(?P<code>[A-Z]{3,4}\d{3})\s+(?P<path>\S+)\s+(?P<symbol>\S+)"
+    r"\s+#\s*(?P<why>.+)$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One concurrency-analysis violation."""
+
+    code: str
+    path: str
+    line: int
+    symbol: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} [{self.symbol}] {self.message}"
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        """Line-independent identity used by the baseline."""
+        return (self.code, self.path, self.symbol)
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "symbol": self.symbol,
+            "message": self.message,
+        }
+
+
+def parse_suppressions(source: str) -> dict[int, frozenset[str] | None]:
+    """Map line number -> suppressed codes (``None`` = all codes)."""
+    out: dict[int, frozenset[str] | None] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        m = _SUPPRESS_RE.search(text)
+        if m is None:
+            continue
+        codes = m.group("codes")
+        if codes is None:
+            out[lineno] = None
+        else:
+            out[lineno] = frozenset(c.strip() for c in codes.split(","))
+    return out
+
+
+def apply_suppressions(
+    findings: list[Finding], source: str
+) -> tuple[list[Finding], int]:
+    """Drop findings acquitted by inline markers; returns (kept, n_dropped)."""
+    marks = parse_suppressions(source)
+    if not marks:
+        return findings, 0
+    kept: list[Finding] = []
+    dropped = 0
+    for f in findings:
+        codes = marks.get(f.line, "absent")
+        if codes == "absent" or (codes is not None and f.code not in codes):
+            kept.append(f)
+        else:
+            dropped += 1
+    return kept, dropped
+
+
+def load_baseline(path: Path | None = None) -> dict[tuple[str, str, str], str]:
+    """Parse the checked baseline into ``key -> justification``.
+
+    Every non-comment line must match the ``CODE path symbol  # why``
+    shape -- a malformed line raises, because a baseline that cannot
+    be parsed must fail the build rather than silently accept nothing.
+    """
+    if path is None:
+        path = Path(__file__).parent / "baseline.txt"
+    entries: dict[tuple[str, str, str], str] = {}
+    if not path.exists():
+        return entries
+    for lineno, raw in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = _BASELINE_RE.match(line)
+        if m is None:
+            raise ValueError(
+                f"{path}:{lineno}: malformed baseline entry {line!r} "
+                "(expected: CODE path symbol  # justification)"
+            )
+        entries[(m.group("code"), m.group("path"), m.group("symbol"))] = (
+            m.group("why").strip()
+        )
+    return entries
+
+
+def apply_baseline(
+    findings: list[Finding],
+    baseline: dict[tuple[str, str, str], str],
+) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into (new, baselined); flag stale baseline entries.
+
+    A baseline entry that matched no finding comes back as a fresh
+    ``BASE001`` finding in the *new* list -- the analyzer will not let
+    the baseline keep paying for debts already repaid.
+    """
+    matched: set[tuple[str, str, str]] = set()
+    new: list[Finding] = []
+    old: list[Finding] = []
+    for f in findings:
+        if f.key in baseline:
+            matched.add(f.key)
+            old.append(f)
+        else:
+            new.append(f)
+    for key in sorted(set(baseline) - matched):
+        code, path, symbol = key
+        new.append(Finding(
+            "BASE001", path, 0, symbol,
+            f"stale baseline entry for {code}: no matching finding remains -- "
+            "delete the line (the violation was fixed)",
+        ))
+    return new, old
+
+
+def project_root() -> Path:
+    """Root of the installed ``repro`` package."""
+    import repro
+
+    return Path(repro.__file__).parent
+
+
+def seam_match(rel: str, seam: str) -> bool:
+    seam = seam.rstrip("/")
+    return rel == seam or rel == f"{seam}.py" or rel.startswith(seam + "/")
+
+
+def iter_modules(
+    root: Path | None = None, *, seams: tuple[str, ...] = ()
+):
+    """Yield ``(rel_posix_path, source_text)`` for every module under
+    ``root`` (default: the installed package), skipping exact seam
+    subtrees -- never same-prefix siblings."""
+    if root is None:
+        root = project_root()
+    root = Path(root)
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        if any(seam_match(rel, seam) for seam in seams):
+            continue
+        yield rel, path.read_text(encoding="utf-8")

@@ -1,0 +1,378 @@
+"""Pass 2: lock-discipline analysis over the asyncio lock web.
+
+PRs 5-6 grew a real lock hierarchy: the gateway's admission slots,
+per-object name locks and per-stripe RMW locks; the cache is guarded by
+the stripe lock; the cluster client layers retries on top.  Deadlock in
+this world needs only two coroutines acquiring the same two locks in
+opposite orders -- and no unit test will ever see it, because the
+interleaving window is microseconds wide.
+
+This pass builds the static **acquisition-order graph**:
+
+* Every ``async with``/``with`` whose context expression looks like a
+  lock (attribute or call whose terminal name matches the lock lexicon:
+  ``*_lock``, ``*_locks[...]``, ``_admitted``, ``slot``, ``Lock()``,
+  ``Semaphore()``...) records an acquisition labelled by its terminal
+  name -- ``self._stripe_locks[s]`` and ``other._stripe_locks[t]``
+  collapse to the same label ``_stripe_lock``, because two *instances*
+  of the same lock class ordered inconsistently are exactly the hazard.
+* Nested ``with`` blocks and multi-item ``with a, b:`` statements add
+  edges ``a -> b`` ("a held while b acquired").
+* Calls made while holding a lock propagate: if ``f`` holds ``A`` and
+  calls ``g`` which acquires ``B``, the edge ``A -> B`` exists even
+  though no single function shows it.  Call resolution is deliberately
+  conservative -- ``self.x()`` resolves only within the defining class;
+  a bare/attribute call resolves only when the method name is defined
+  exactly once across the analyzed tree.  Unresolvable calls add no
+  edges (a static pass must not invent deadlocks).
+
+Findings:
+
+* ``LCK200`` -- a cycle in the acquisition graph: two paths acquire
+  the same locks in opposite orders; under contention this deadlocks.
+* ``LCK201`` -- a function transitively re-acquires a lock label it
+  already holds.  asyncio locks are **not re-entrant**: the second
+  acquire waits forever on the first, a self-deadlock needing no
+  second task at all.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+
+from repro.analysis.concurrency.findings import (
+    Finding,
+    apply_suppressions,
+    iter_modules,
+    parse_suppressions,
+)
+
+__all__ = ["analyze_lock_order", "analyze_lock_order_sources", "LockSummary"]
+
+#: Terminal attribute/function names treated as lock acquisitions.
+_LOCK_NAME_RE = re.compile(r"(^|_)locks?$|^_admitted$|^slot$")
+#: Constructor names treated as inline lock acquisitions.
+_LOCK_CTORS = frozenset({"Lock", "Semaphore", "BoundedSemaphore", "Condition"})
+
+
+def _lock_label(ctx: ast.expr) -> str | None:
+    """Label for a lock-looking context expression, else ``None``.
+
+    ``self._stripe_locks[s]`` -> ``_stripe_lock`` (singularised so the
+    dict-of-locks and a single lock of the same family share a node);
+    ``self._admitted(op)`` -> ``_admitted``; ``admission.slot()`` ->
+    ``slot``; ``asyncio.Lock()`` -> ``Lock``.
+    """
+    expr = ctx
+    if isinstance(expr, ast.Call):
+        expr = expr.func
+    if isinstance(expr, ast.Subscript):
+        expr = expr.value
+    name: str | None = None
+    if isinstance(expr, ast.Attribute):
+        name = expr.attr
+    elif isinstance(expr, ast.Name):
+        name = expr.id
+    if name is None:
+        return None
+    if name in _LOCK_CTORS:
+        return name
+    if _LOCK_NAME_RE.search(name):
+        return name[:-1] if name.endswith("locks") else name
+    return None
+
+
+@dataclass
+class LockSummary:
+    """Per-function lock behaviour, before call propagation."""
+
+    qualname: str          # module-relative, e.g. ``ObjectGateway.put``
+    path: str
+    line: int
+    cls: str | None        # defining class name, None at module scope
+    acquires: list[tuple[str, int]] = field(default_factory=list)
+    #: direct edges (held, acquired, lineno) observed in this body
+    edges: list[tuple[str, str, int]] = field(default_factory=list)
+    #: calls made while holding locks: (callee expr, held-set, lineno)
+    calls_under: list[tuple[ast.expr, frozenset[str], int]] = field(
+        default_factory=list
+    )
+    #: every call in the body regardless of held locks (for reachability)
+    calls: list[tuple[ast.expr, int]] = field(default_factory=list)
+    suppressed: dict[int, frozenset[str] | None] = field(default_factory=dict)
+
+
+class _FunctionScanner(ast.NodeVisitor):
+    """Collect acquisitions/edges/calls for a single function body."""
+
+    def __init__(self, summary: LockSummary) -> None:
+        self.s = summary
+        self._held: list[str] = []
+
+    def _acquire(self, label: str, lineno: int, body: list[ast.stmt]) -> None:
+        for held in self._held:
+            self.s.edges.append((held, label, lineno))
+        self.s.acquires.append((label, lineno))
+        self._held.append(label)
+        for stmt in body:
+            self.visit(stmt)
+        self._held.pop()
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        labels = [(_lock_label(item.context_expr), item.context_expr)
+                  for item in node.items]
+        lock_labels = [lbl for lbl, _ in labels if lbl is not None]
+        if not lock_labels:
+            for stmt in node.body:
+                self.visit(stmt)
+            return
+        # multi-item `with a, b:` orders left-to-right, like nesting
+        lineno = node.lineno
+        depth = 0
+        for lbl in lock_labels:
+            for held in self._held:
+                self.s.edges.append((held, lbl, lineno))
+            self.s.acquires.append((lbl, lineno))
+            self._held.append(lbl)
+            depth += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in range(depth):
+            self._held.pop()
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self.s.calls.append((node.func, node.lineno))
+        if self._held:
+            self.s.calls_under.append(
+                (node.func, frozenset(self._held), node.lineno)
+            )
+        self.generic_visit(node)
+
+    # do not descend into nested function definitions: they run later
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+
+class _ModuleScanner(ast.NodeVisitor):
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path
+        self.suppressed = parse_suppressions(source)
+        self.summaries: list[LockSummary] = []
+        self._cls: list[str] = []
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._cls.append(node.name)
+        self.generic_visit(node)
+        self._cls.pop()
+
+    def _scan(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        cls = self._cls[-1] if self._cls else None
+        qual = f"{cls}.{node.name}" if cls else node.name
+        summary = LockSummary(
+            qualname=qual, path=self.path, line=node.lineno, cls=cls,
+            suppressed=self.suppressed,
+        )
+        scanner = _FunctionScanner(summary)
+        for stmt in node.body:
+            scanner.visit(stmt)
+        self.summaries.append(summary)
+        # nested defs still get their own summaries
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._scan(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._scan(node)
+
+
+def _callee_key(expr: ast.expr) -> tuple[str, str] | None:
+    """Resolve a call target to (kind, name).
+
+    kind ``"self"``: ``self.x()`` -- resolve within the defining class.
+    kind ``"name"``: ``x()`` or ``obj.x()`` -- resolve only if the name
+    is unambiguous across all summaries.
+    """
+    if isinstance(expr, ast.Attribute):
+        if isinstance(expr.value, ast.Name) and expr.value.id == "self":
+            return ("self", expr.attr)
+        return ("name", expr.attr)
+    if isinstance(expr, ast.Name):
+        return ("name", expr.id)
+    return None
+
+
+def _build_index(
+    summaries: list[LockSummary],
+) -> tuple[dict[tuple[str, str, str], LockSummary], dict[str, list[LockSummary]]]:
+    by_class: dict[tuple[str, str, str], LockSummary] = {}
+    by_name: dict[str, list[LockSummary]] = {}
+    for s in summaries:
+        name = s.qualname.rsplit(".", 1)[-1]
+        if s.cls is not None:
+            by_class[(s.path, s.cls, name)] = s
+        by_name.setdefault(name, []).append(s)
+    return by_class, by_name
+
+
+def _resolve(
+    s: LockSummary,
+    expr: ast.expr,
+    by_class: dict[tuple[str, str, str], LockSummary],
+    by_name: dict[str, list[LockSummary]],
+) -> LockSummary | None:
+    key = _callee_key(expr)
+    if key is None:
+        return None
+    kind, name = key
+    if kind == "self" and s.cls is not None:
+        return by_class.get((s.path, s.cls, name))
+    candidates = by_name.get(name, [])
+    if len(candidates) == 1:
+        return candidates[0]
+    return None
+
+
+def _transitive_acquires(
+    start: LockSummary,
+    by_class: dict[tuple[str, str, str], LockSummary],
+    by_name: dict[str, list[LockSummary]],
+    cache: dict[int, frozenset[str]],
+    stack: set[int],
+) -> frozenset[str]:
+    """Every lock label ``start`` may acquire, directly or via calls."""
+    sid = id(start)
+    if sid in cache:
+        return cache[sid]
+    if sid in stack:
+        return frozenset()
+    stack.add(sid)
+    labels = {lbl for lbl, _ in start.acquires}
+    for expr, _lineno in start.calls:
+        callee = _resolve(start, expr, by_class, by_name)
+        if callee is not None:
+            labels |= _transitive_acquires(callee, by_class, by_name, cache, stack)
+    stack.discard(sid)
+    cache[sid] = frozenset(labels)
+    return cache[sid]
+
+
+def _find_cycles(edges: dict[str, set[str]]) -> list[list[str]]:
+    """All elementary cycles found by DFS (deduped by node-set)."""
+    cycles: list[list[str]] = []
+    seen_sets: set[frozenset[str]] = set()
+
+    def dfs(node: str, path: list[str], on_path: set[str]) -> None:
+        for nxt in sorted(edges.get(node, ())):
+            if nxt in on_path:
+                cyc = path[path.index(nxt):] + [nxt]
+                key = frozenset(cyc)
+                if key not in seen_sets:
+                    seen_sets.add(key)
+                    cycles.append(cyc)
+                continue
+            path.append(nxt)
+            on_path.add(nxt)
+            dfs(nxt, path, on_path)
+            on_path.discard(nxt)
+            path.pop()
+
+    for start in sorted(edges):
+        dfs(start, [start], {start})
+    return cycles
+
+
+def analyze_lock_order_sources(
+    modules: list[tuple[str, str]],
+) -> list[Finding]:
+    """Run the lock-discipline analysis over ``(path, source)`` pairs."""
+    summaries: list[LockSummary] = []
+    per_path_source = dict(modules)
+    for path, source in modules:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return [Finding("LCK199", path, exc.lineno or 0, "syntax", str(exc.msg))]
+        scanner = _ModuleScanner(path, source)
+        scanner.visit(tree)
+        summaries.extend(scanner.summaries)
+
+    by_class, by_name = _build_index(summaries)
+    cache: dict[int, frozenset[str]] = {}
+
+    # -- global acquisition-order graph --------------------------------------
+    edges: dict[str, set[str]] = {}
+    witnesses: dict[tuple[str, str], tuple[str, str, int]] = {}
+
+    def add_edge(a: str, b: str, s: LockSummary, lineno: int) -> None:
+        if a == b:
+            return  # self-edges are LCK201's business, with re-entry proof
+        edges.setdefault(a, set()).add(b)
+        witnesses.setdefault((a, b), (s.path, s.qualname, lineno))
+
+    findings: list[Finding] = []
+    for s in summaries:
+        for a, b, lineno in s.edges:
+            add_edge(a, b, s, lineno)
+        for expr, held, lineno in s.calls_under:
+            callee = _resolve(s, expr, by_class, by_name)
+            if callee is None:
+                continue
+            acquired = _transitive_acquires(callee, by_class, by_name, cache, set())
+            for a in held:
+                for b in acquired:
+                    if a != b:
+                        add_edge(a, b, s, lineno)
+                    else:
+                        # transitive re-acquisition of a held, non-reentrant lock
+                        findings.append(Finding(
+                            "LCK201", s.path, lineno, a,
+                            f"{s.qualname} holds {a!r} and calls into a path "
+                            f"that re-acquires it; asyncio locks are not "
+                            f"re-entrant -- this self-deadlocks",
+                        ))
+
+    for cyc in _find_cycles(edges):
+        pairs = list(zip(cyc, cyc[1:]))
+        where = "; ".join(
+            f"{a}->{b} at {witnesses[(a, b)][0]}:{witnesses[(a, b)][2]} "
+            f"({witnesses[(a, b)][1]})"
+            for a, b in pairs if (a, b) in witnesses
+        )
+        path, qual, lineno = witnesses.get(pairs[0], ("<graph>", "<multiple>", 0))
+        findings.append(Finding(
+            "LCK200", path, lineno, "->".join(cyc),
+            f"lock acquisition-order cycle: {' -> '.join(cyc)} ({where}); "
+            f"two tasks taking these locks in opposite orders deadlock",
+        ))
+
+    # apply inline suppressions per finding's source module
+    kept: list[Finding] = []
+    for f in findings:
+        src = per_path_source.get(f.path)
+        if src is None:
+            kept.append(f)
+            continue
+        filtered, _ = apply_suppressions([f], src)
+        kept.extend(filtered)
+    return kept
+
+
+def analyze_lock_order(root=None, *, seams: tuple[str, ...] = ("bench",)) -> list[Finding]:
+    """Analyze the whole tree (default: the installed package)."""
+    modules = list(iter_modules(root, seams=seams))
+    return analyze_lock_order_sources(modules)

@@ -37,11 +37,37 @@ import ast
 from dataclasses import dataclass
 from pathlib import Path
 
-__all__ = ["AstLintFinding", "DEFAULT_SEAMS", "lint_source", "lint_project"]
+from repro.analysis.concurrency.findings import seam_match
+
+__all__ = [
+    "AstLintFinding",
+    "DEFAULT_SEAMS",
+    "TESTS_SEAMS",
+    "lint_source",
+    "lint_project",
+]
 
 #: Module path prefixes (relative to the package root, "/"-separated)
 #: where wall clocks and randomness are part of the contract.
 DEFAULT_SEAMS: tuple[str, ...] = ("sim/", "sim.py", "bench/", "bench.py")
+
+#: Allowlist for sweeping the repo's ``tests/`` tree: files whose tests
+#: measure wall-clock behaviour on purpose.  Everything else in tests/
+#: must hold the same sim-seam invariant as library code -- a test that
+#: sleeps or reads the wall clock is a flaky test waiting to happen.
+#:
+#: * ``bench`` -- benchmark tests time real execution by contract.
+#: * ``sim/test_clock.py`` -- exercises the RealClock half of the seam.
+#: * ``sim/test_differential.py`` -- drives fuzz time budgets through
+#:   ``time.monotonic`` deadlines (the fuzz loop's documented wallclock).
+#: * ``test_cli.py`` -- boots real subprocess servers and polls with
+#:   wall-clock timeouts.
+TESTS_SEAMS: tuple[str, ...] = (
+    "bench",
+    "sim/test_clock.py",
+    "sim/test_differential.py",
+    "test_cli.py",
+)
 
 _CLOCK_CALLS = frozenset(
     f"time.{name}"
@@ -178,7 +204,10 @@ def lint_project(
     findings: list[AstLintFinding] = []
     for path in sorted(root.rglob("*.py")):
         rel = path.relative_to(root).as_posix()
-        if any(rel == seam or rel.startswith(seam) for seam in seams):
+        # Exact-boundary match: seam "sim" (or "sim/") exempts sim.py and
+        # the sim/ subtree but never a same-prefix sibling (simulators/,
+        # sim_extras.py) -- a bare startswith() would skip those too.
+        if any(seam_match(rel, seam) for seam in seams):
             continue
         findings.extend(lint_source(path.read_text(encoding="utf-8"), rel))
     return findings

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.analysis.concurrency import sanitizer
 from repro.array.disk import DiskError, DiskFailedError, LatentSectorError, SimulatedDisk
 from repro.array.faults import NetworkFaultPlan
 from repro.cluster.protocol import ProtocolError, encode_frame, frame_parts, read_frame
@@ -280,17 +281,23 @@ class StripNode:
         else:
             # Sunny-day path: stream the frame parts; a `get` reply's
             # strip payload goes socket-ward as a view, never staged.
+            token = sanitizer.guard(reply_payload, f"node.{verb}.reply")
             sent = 0
             for part in frame_parts(reply_header, reply_payload):
                 if len(part):
                     writer.write(part)
                     sent += len(part)
             self.metrics.counter("bytes_out").inc(sent)
+            with contextlib.suppress(ConnectionError):
+                await writer.drain()
+            sanitizer.check(token)
+            return verb != "shutdown"
         with contextlib.suppress(ConnectionError):
             await writer.drain()
         return verb != "shutdown"
 
     async def _reply(self, writer, header: dict, payload: bytes = b"") -> None:
+        token = sanitizer.guard(payload, "node._reply")
         sent = 0
         for part in frame_parts(header, payload):
             if len(part):
@@ -299,6 +306,7 @@ class StripNode:
         self.metrics.counter("bytes_out").inc(sent)
         with contextlib.suppress(ConnectionError):
             await writer.drain()
+        sanitizer.check(token)
 
     # -- verb implementations ----------------------------------------------
 

@@ -41,6 +41,8 @@ from typing import Any
 
 import asyncio
 
+from repro.analysis.concurrency import sanitizer
+
 __all__ = [
     "MAGIC",
     "MAX_FRAME_BYTES",
@@ -140,8 +142,13 @@ async def write_frame(
     The transport copies whatever it cannot send immediately before
     this returns, and ``drain()`` is awaited here, so callers may reuse
     or mutate the payload buffer as soon as the coroutine completes.
+    Under ``REPRO_ALIAS_SANITIZER=1`` the payload is fingerprinted at
+    handoff and re-verified after the drain: a concurrent writer racing
+    the socket is recorded as a write-after-handoff event.
     """
+    token = sanitizer.guard(payload, "protocol.write_frame")
     for part in frame_parts(header, payload):
         if len(part):
             writer.write(part)
     await writer.drain()
+    sanitizer.check(token)

@@ -42,6 +42,8 @@ from itertools import combinations
 
 import numpy as np
 
+from repro.analysis.concurrency import sanitizer
+from repro.analysis.concurrency.sanitizer import AliasViolationError
 from repro.codes import make_code
 from repro.engine.executor import StreamingSchedule, compile_schedule, execute_bits
 from repro.sim.scenario import (
@@ -285,6 +287,17 @@ def fuzz(
             record = StripeCase.generate(case_seed).to_dict()
         try:
             run_case_dict(record, code_factory=code_factory)
+            # Runtime cross-check of the static analyzer: any
+            # write-after-handoff the alias sanitizer observed during
+            # this case is a finding the dataflow passes missed, and it
+            # fails the run with the case attached as the repro.
+            sanitizer.assert_clean(f"fuzz case seed={case_seed}")
+        except AliasViolationError as exc:
+            return FuzzFailure(
+                case=record, shrunk=record, error=str(exc),
+                context={"kind": "alias-sanitizer"},
+                seed=case_seed, cases_run=i + 1,
+            )
         except DivergenceError as exc:
             shrunk = record
             if shrink:

@@ -78,9 +78,18 @@ def words_view(data: bytes | bytearray | memoryview) -> np.ndarray:
     transport buffer is safe and saves the staging copy per strip.
     Views over immutable buffers (``bytes``) come back read-only;
     attempting to execute a schedule *into* one raises, which is the
-    correct failure for a miswired call site.
+    correct failure for a miswired call site.  Under
+    ``REPRO_ALIAS_SANITIZER=1`` *every* loan comes back read-only, so
+    the same miswiring fails fast over mutable buffers too.
     """
-    return _word_view(data)
+    view = _word_view(data)
+    # Imported lazily: words.py sits at the bottom of the package import
+    # graph and the analysis package (transitively) imports it.
+    from repro.analysis.concurrency import sanitizer
+
+    if sanitizer.enabled():
+        view = sanitizer.readonly_words(view)
+    return view
 
 
 def words_to_bytes(words: np.ndarray) -> bytes:

@@ -1,0 +1,167 @@
+"""Async-safety lint: mutation canaries and acquittals.
+
+Each canary seeds a violation into a synthetic module and asserts the
+pass catches it -- the analyzer equivalent of the engine's flipped-XOR
+tests.  The final class pins the live tree clean, which is the
+acceptance gate that keeps real regressions from landing silently.
+"""
+
+from repro.analysis.concurrency.asynclint import (
+    lint_async_project,
+    lint_async_source,
+)
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+class TestBlockingSleep:
+    def test_time_sleep_in_coroutine_is_flagged(self):
+        src = "import time\nasync def f():\n    time.sleep(1)\n"
+        assert codes(lint_async_source(src, "m.py")) == ["ASY101"]
+
+    def test_aliased_import_is_still_caught(self):
+        src = "import time as t\nasync def f():\n    t.sleep(1)\n"
+        assert codes(lint_async_source(src, "m.py")) == ["ASY101"]
+
+    def test_sync_function_is_not_flagged(self):
+        src = "import time\ndef f():\n    time.sleep(1)\n"
+        assert lint_async_source(src, "m.py") == []
+
+    def test_sync_def_nested_in_async_is_its_own_world(self):
+        src = (
+            "import time\n"
+            "async def f():\n"
+            "    def helper():\n"
+            "        time.sleep(1)\n"  # runs only when called, sync context
+            "    return helper\n"
+        )
+        assert lint_async_source(src, "m.py") == []
+
+
+class TestBlockingIO:
+    def test_open_in_coroutine(self):
+        src = "async def f(p):\n    return open(p).read()\n"
+        assert "ASY102" in codes(lint_async_source(src, "m.py"))
+
+    def test_pathlib_write_text(self):
+        src = (
+            "import pathlib\n"
+            "async def f(p):\n"
+            "    pathlib.Path(p).write_text('x')\n"
+        )
+        assert codes(lint_async_source(src, "m.py")) == ["ASY102"]
+
+    def test_suppression_acquits_with_justification(self):
+        src = (
+            "import pathlib\n"
+            "async def f(p):\n"
+            "    pathlib.Path(p).write_text('x')  # conc: ok[ASY102] startup\n"
+        )
+        assert lint_async_source(src, "m.py") == []
+
+
+class TestResultCall:
+    def test_bare_result_is_flagged(self):
+        src = "async def f(fut):\n    return fut.result()\n"
+        assert codes(lint_async_source(src, "m.py")) == ["ASY103"]
+
+    def test_done_guard_acquits_same_receiver(self):
+        # the hedged-request idiom: .result() only after .done()
+        src = (
+            "async def f(task):\n"
+            "    if task.done():\n"
+            "        return task.result()\n"
+            "    return None\n"
+        )
+        assert lint_async_source(src, "m.py") == []
+
+    def test_done_guard_does_not_acquit_other_receiver(self):
+        src = (
+            "async def f(a, b):\n"
+            "    if a.done():\n"
+            "        return b.result()\n"
+        )
+        assert codes(lint_async_source(src, "m.py")) == ["ASY103"]
+
+    def test_result_with_timeout_arg_is_not_flagged(self):
+        # concurrent.futures result(timeout=0) is a deliberate poll
+        src = "async def f(fut):\n    return fut.result(0)\n"
+        assert lint_async_source(src, "m.py") == []
+
+
+class TestUnawaitedCoroutine:
+    def test_bare_local_coroutine_call_is_flagged(self):
+        src = (
+            "async def work():\n"
+            "    pass\n"
+            "async def f():\n"
+            "    work()\n"
+        )
+        assert codes(lint_async_source(src, "m.py")) == ["ASY104"]
+
+    def test_awaited_call_is_fine(self):
+        src = (
+            "async def work():\n"
+            "    pass\n"
+            "async def f():\n"
+            "    await work()\n"
+        )
+        assert lint_async_source(src, "m.py") == []
+
+    def test_self_method_call_is_flagged(self):
+        src = (
+            "class C:\n"
+            "    async def work(self):\n"
+            "        pass\n"
+            "    async def f(self):\n"
+            "        self.work()\n"
+        )
+        assert codes(lint_async_source(src, "m.py")) == ["ASY104"]
+
+    def test_assigned_coroutine_is_not_flagged(self):
+        # assigning (e.g. to gather later) is not a dropped coroutine
+        src = (
+            "async def work():\n"
+            "    pass\n"
+            "async def f():\n"
+            "    cs = [work() for _ in range(3)]\n"
+            "    return cs\n"
+        )
+        assert lint_async_source(src, "m.py") == []
+
+
+class TestAwaitUnderSyncLock:
+    def test_threading_lock_spanning_await_is_flagged(self):
+        src = (
+            "import threading\n"
+            "async def f(lk, coro):\n"
+            "    with threading.Lock():\n"
+            "        await coro\n"
+        )
+        assert codes(lint_async_source(src, "m.py")) == ["ASY105"]
+
+    def test_lock_without_await_inside_is_fine(self):
+        src = (
+            "import threading\n"
+            "async def f():\n"
+            "    with threading.Lock():\n"
+            "        x = 1\n"
+            "    return x\n"
+        )
+        assert lint_async_source(src, "m.py") == []
+
+    def test_async_lock_is_fine(self):
+        src = (
+            "import asyncio\n"
+            "async def f(lk):\n"
+            "    async with lk:\n"
+            "        await asyncio.sleep(0)\n"
+        )
+        assert lint_async_source(src, "m.py") == []
+
+
+class TestLiveTree:
+    def test_project_is_clean(self):
+        assert lint_async_project() == []

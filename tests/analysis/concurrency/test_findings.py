@@ -1,0 +1,109 @@
+"""Shared findings plumbing: suppressions, baseline, seam iteration."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.concurrency.findings import (
+    Finding,
+    apply_baseline,
+    apply_suppressions,
+    load_baseline,
+    parse_suppressions,
+    seam_match,
+)
+
+
+def F(code="ASY101", path="m.py", line=3, symbol="time.sleep", message="msg"):
+    return Finding(code, path, line, symbol, message)
+
+
+class TestSuppressions:
+    def test_bare_marker_suppresses_all_codes(self):
+        src = "x = 1\ny = 2  # conc: ok\nz = 3\n"
+        marks = parse_suppressions(src)
+        assert marks == {2: None}
+        kept, dropped = apply_suppressions(
+            [F(line=2), F(code="MVE301", line=2), F(line=3)], src
+        )
+        assert dropped == 2
+        assert [f.line for f in kept] == [3]
+
+    def test_coded_marker_suppresses_only_that_code(self):
+        src = "a\nb  # conc: ok[ASY101] startup write\n"
+        kept, dropped = apply_suppressions(
+            [F(line=2), F(code="MVE301", line=2)], src
+        )
+        assert dropped == 1
+        assert [f.code for f in kept] == ["MVE301"]
+
+    def test_multi_code_marker(self):
+        src = "a  # conc: ok[ASY101, MVE301] both intentional\n"
+        kept, dropped = apply_suppressions(
+            [F(line=1), F(code="MVE301", line=1), F(code="LCK200", line=1)], src
+        )
+        assert dropped == 2
+        assert [f.code for f in kept] == ["LCK200"]
+
+    def test_marker_on_other_line_does_not_leak(self):
+        src = "a  # conc: ok\nb\n"
+        kept, dropped = apply_suppressions([F(line=2)], src)
+        assert dropped == 0 and len(kept) == 1
+
+
+class TestBaseline:
+    def test_roundtrip_and_stale_detection(self, tmp_path: Path):
+        base = tmp_path / "baseline.txt"
+        base.write_text(
+            "# comment\n"
+            "ASY101 m.py time.sleep  # legacy sleep, tracked in #42\n"
+            "MVE301 gone.py view  # was fixed long ago\n"
+        )
+        entries = load_baseline(base)
+        assert entries[("ASY101", "m.py", "time.sleep")].startswith("legacy")
+
+        new, old = apply_baseline([F()], entries)
+        assert [f.code for f in old] == ["ASY101"]
+        # the unmatched entry surfaces as a BASE001 in the NEW list
+        assert [f.code for f in new] == ["BASE001"]
+        assert new[0].path == "gone.py"
+
+    def test_baseline_is_line_number_independent(self, tmp_path: Path):
+        base = tmp_path / "baseline.txt"
+        base.write_text("ASY101 m.py time.sleep  # why\n")
+        entries = load_baseline(base)
+        new, old = apply_baseline([F(line=999)], entries)
+        assert new == [] and len(old) == 1
+
+    def test_malformed_baseline_raises(self, tmp_path: Path):
+        base = tmp_path / "baseline.txt"
+        base.write_text("ASY101 m.py  # missing the symbol column\n")
+        with pytest.raises(ValueError, match="malformed baseline"):
+            load_baseline(base)
+
+    def test_entry_without_justification_raises(self, tmp_path: Path):
+        base = tmp_path / "baseline.txt"
+        base.write_text("ASY101 m.py time.sleep\n")
+        with pytest.raises(ValueError, match="malformed baseline"):
+            load_baseline(base)
+
+    def test_missing_file_is_empty(self, tmp_path: Path):
+        assert load_baseline(tmp_path / "nope.txt") == {}
+
+    def test_checked_in_baseline_parses(self):
+        # The real baseline must always be loadable -- a malformed line
+        # would otherwise fail every analyze run at once.
+        load_baseline()
+
+
+class TestSeamMatch:
+    def test_exact_boundary_only(self):
+        assert seam_match("sim/clock.py", "sim")
+        assert seam_match("sim.py", "sim")
+        assert seam_match("sim", "sim")
+        assert not seam_match("simulators/fake.py", "sim")
+        assert not seam_match("sim_extras.py", "sim")
+
+    def test_trailing_slash_normalised(self):
+        assert seam_match("sim/clock.py", "sim/")
+        assert not seam_match("simulators/x.py", "sim/")

@@ -1,0 +1,155 @@
+"""Lock-discipline analysis: cycle and re-entry canaries.
+
+The seeded violations mirror the two real deadlock shapes in an
+asyncio lock web: two coroutines taking the same pair of locks in
+opposite orders (LCK200) and one coroutine calling back into a path
+that re-acquires a lock it already holds (LCK201, asyncio locks being
+non-reentrant).  The live-tree check pins the gateway's real hierarchy
+(admission -> name -> stripe) acyclic.
+"""
+
+from repro.analysis.concurrency.lockgraph import (
+    analyze_lock_order,
+    analyze_lock_order_sources,
+)
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+class TestCycleDetection:
+    CYCLE = (
+        "class G:\n"
+        "    async def a(self):\n"
+        "        async with self._name_lock:\n"
+        "            async with self._stripe_lock:\n"
+        "                pass\n"
+        "    async def b(self):\n"
+        "        async with self._stripe_lock:\n"
+        "            async with self._name_lock:\n"
+        "                pass\n"
+    )
+
+    def test_opposite_order_is_a_cycle(self):
+        fs = analyze_lock_order_sources([("m.py", self.CYCLE)])
+        assert codes(fs) == ["LCK200"]
+        assert "_name_lock" in fs[0].symbol and "_stripe_lock" in fs[0].symbol
+
+    def test_consistent_order_is_clean(self):
+        src = (
+            "class G:\n"
+            "    async def a(self):\n"
+            "        async with self._name_lock:\n"
+            "            async with self._stripe_lock:\n"
+            "                pass\n"
+            "    async def b(self):\n"
+            "        async with self._name_lock:\n"
+            "            async with self._stripe_lock:\n"
+            "                pass\n"
+        )
+        assert analyze_lock_order_sources([("m.py", src)]) == []
+
+    def test_multi_item_with_orders_left_to_right(self):
+        src = (
+            "class G:\n"
+            "    async def a(self):\n"
+            "        async with self._admitted(1), self._name_lock(2):\n"
+            "            pass\n"
+            "    async def b(self):\n"
+            "        async with self._name_lock(2), self._admitted(1):\n"
+            "            pass\n"
+        )
+        assert codes(analyze_lock_order_sources([("m.py", src)])) == ["LCK200"]
+
+    def test_cross_function_cycle_through_calls(self):
+        # f holds A and calls g which takes B; h does B then A directly.
+        src = (
+            "class G:\n"
+            "    async def f(self):\n"
+            "        async with self._cache_lock:\n"
+            "            await self.g()\n"
+            "    async def g(self):\n"
+            "        async with self._stripe_lock:\n"
+            "            pass\n"
+            "    async def h(self):\n"
+            "        async with self._stripe_lock:\n"
+            "            async with self._cache_lock:\n"
+            "                pass\n"
+        )
+        assert codes(analyze_lock_order_sources([("m.py", src)])) == ["LCK200"]
+
+    def test_ambiguous_callee_adds_no_edges(self):
+        # `self.cache.put(...)` must not resolve to another class's
+        # `put` that takes locks -- a static pass must not invent
+        # deadlocks from name collisions.
+        src = (
+            "class Cache:\n"
+            "    async def put(self, k, v):\n"
+            "        async with self._cache_lock:\n"
+            "            pass\n"
+            "class Gateway:\n"
+            "    async def put(self, k, v):\n"
+            "        async with self._stripe_lock:\n"
+            "            await self.cache.put(k, v)\n"
+            "class Other:\n"
+            "    async def run(self):\n"
+            "        async with self._cache_lock:\n"
+            "            async with self._stripe_lock:\n"
+            "                pass\n"
+        )
+        # `put` is defined twice -> unresolvable -> no stripe->cache
+        # edge -> no cycle against Other.run's cache->stripe order.
+        assert analyze_lock_order_sources([("m.py", src)]) == []
+
+
+class TestReentry:
+    def test_self_reacquisition_through_call(self):
+        src = (
+            "class G:\n"
+            "    async def outer(self):\n"
+            "        async with self._stripe_lock:\n"
+            "            await self.inner()\n"
+            "    async def inner(self):\n"
+            "        async with self._stripe_lock:\n"
+            "            pass\n"
+        )
+        fs = analyze_lock_order_sources([("m.py", src)])
+        assert codes(fs) == ["LCK201"]
+        assert fs[0].symbol == "_stripe_lock"
+
+    def test_suppression_acquits(self):
+        src = (
+            "class G:\n"
+            "    async def outer(self):\n"
+            "        async with self._stripe_lock:\n"
+            "            await self.inner()  # conc: ok[LCK201] same-task proof\n"
+            "    async def inner(self):\n"
+            "        async with self._stripe_lock:\n"
+            "            pass\n"
+        )
+        assert analyze_lock_order_sources([("m.py", src)]) == []
+
+
+class TestLiveTree:
+    def test_project_lock_order_is_clean(self):
+        assert analyze_lock_order() == []
+
+    def test_gateway_hierarchy_is_seen(self):
+        """The pass must actually *see* the gateway's lock web -- an
+        analyzer that reports clean because it parsed nothing would be
+        worse than none at all."""
+        from pathlib import Path
+
+        import repro.gateway.objstore as objstore
+
+        from repro.analysis.concurrency.lockgraph import _ModuleScanner
+        import ast
+
+        src = Path(objstore.__file__).read_text()
+        scanner = _ModuleScanner("gateway/objstore.py", src)
+        scanner.visit(ast.parse(src))
+        acquired = {
+            lbl for s in scanner.summaries for lbl, _ in s.acquires
+        }
+        assert {"_admitted", "_name_lock", "_stripe_lock"} <= acquired

@@ -1,0 +1,60 @@
+"""The four-pass runner: clean-tree gate and baseline integration."""
+
+from pathlib import Path
+
+from repro.analysis.concurrency import run_concurrency_analysis
+
+
+class TestCleanTree:
+    def test_all_passes_run_clean_on_the_tree(self):
+        """The acceptance gate: the live tree carries zero unbaselined
+        concurrency findings.  A failure here names the exact finding --
+        fix it, suppress it inline with a justification, or (last
+        resort) baseline it."""
+        report = run_concurrency_analysis()
+        assert report.ok, "\n".join(str(f) for f in report.findings)
+
+    def test_every_pass_actually_ran(self):
+        report = run_concurrency_analysis()
+        assert set(report.per_pass) == {"async", "locks", "views", "protocol"}
+
+    def test_report_serialises(self):
+        d = run_concurrency_analysis().to_dict()
+        assert d["ok"] is True
+        assert set(d) == {"ok", "findings", "baselined", "per_pass"}
+
+
+class TestBaselineIntegration:
+    def test_stale_baseline_entry_fails_the_run(self, tmp_path: Path):
+        base = tmp_path / "baseline.txt"
+        base.write_text("ASY101 never/was.py time.sleep  # ghost entry\n")
+        report = run_concurrency_analysis(baseline_path=base)
+        assert not report.ok
+        assert [f.code for f in report.findings] == ["BASE001"]
+        assert "never/was.py" in str(report.findings[0])
+
+    def test_matching_baseline_entry_grandfathers(self, tmp_path: Path):
+        # Seed a violation in a synthetic tree, then baseline it away.
+        root = tmp_path / "pkg"
+        (root / "cluster").mkdir(parents=True)
+        (root / "cluster" / "node.py").write_text(
+            "class Plan:\n    POINTS = ()\n"
+            "def _serve(self, verb):\n"
+            "    if verb == 'ping':\n        pass\n"
+        )
+        (root / "busy.py").write_text(
+            "import time\nasync def f():\n    time.sleep(1)\n"
+        )
+        bad = run_concurrency_analysis(root, tests_root=tmp_path / "no-tests")
+        assert [f.code for f in bad.findings] == ["ASY101", "PRO402"]
+
+        base = tmp_path / "baseline.txt"
+        base.write_text(
+            "ASY101 busy.py time.sleep  # legacy, tracked\n"
+            "PRO402 cluster/node.py ping  # synthetic tree\n"
+        )
+        ok = run_concurrency_analysis(
+            root, tests_root=tmp_path / "no-tests", baseline_path=base
+        )
+        assert ok.ok
+        assert len(ok.baselined) == 2

@@ -1,0 +1,141 @@
+"""Memoryview escape analysis: canaries for the three loan hazards."""
+
+from repro.analysis.concurrency.viewescape import (
+    scan_views_project,
+    scan_views_source,
+)
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+class TestEscapeToState:
+    def test_view_stored_on_self_is_flagged(self):
+        src = (
+            "class C:\n"
+            "    def keep(self, buf):\n"
+            "        self.view = memoryview(buf)\n"
+        )
+        assert codes(scan_views_source(src, "m.py")) == ["MVE301"]
+
+    def test_words_view_stored_on_self(self):
+        src = (
+            "from repro.utils.words import words_view\n"
+            "class C:\n"
+            "    def keep(self, payload):\n"
+            "        self.words = words_view(payload)\n"
+        )
+        assert codes(scan_views_source(src, "m.py")) == ["MVE301"]
+
+    def test_view_stored_into_attr_container(self):
+        src = (
+            "class C:\n"
+            "    def keep(self, k, buf):\n"
+            "        self.cache[k] = memoryview(buf)\n"
+        )
+        assert codes(scan_views_source(src, "m.py")) == ["MVE301"]
+
+    def test_view_via_local_name_is_tracked(self):
+        src = (
+            "class C:\n"
+            "    def keep(self, buf):\n"
+            "        v = memoryview(buf)\n"
+            "        self.view = v\n"
+        )
+        assert codes(scan_views_source(src, "m.py")) == ["MVE301"]
+
+    def test_cast_of_view_is_still_a_view(self):
+        src = (
+            "class C:\n"
+            "    def keep(self, buf):\n"
+            "        self.view = memoryview(buf).cast('B')\n"
+        )
+        assert codes(scan_views_source(src, "m.py")) == ["MVE301"]
+
+    def test_copy_launders_the_loan(self):
+        src = (
+            "class C:\n"
+            "    def keep(self, buf):\n"
+            "        self.snapshot = bytes(memoryview(buf))\n"
+        )
+        assert scan_views_source(src, "m.py") == []
+
+    def test_tobytes_launders(self):
+        src = (
+            "class C:\n"
+            "    def keep(self, buf):\n"
+            "        v = memoryview(buf)\n"
+            "        self.snapshot = v.tobytes()\n"
+        )
+        assert scan_views_source(src, "m.py") == []
+
+    def test_returning_a_view_is_the_api_contract(self):
+        src = (
+            "def words_view(data):\n"
+            "    return memoryview(data)\n"
+        )
+        assert scan_views_source(src, "m.py") == []
+
+    def test_suppression_acquits(self):
+        src = (
+            "class C:\n"
+            "    def keep(self, buf):\n"
+            "        self.view = memoryview(buf)  # conc: ok[MVE301] pinned\n"
+        )
+        assert scan_views_source(src, "m.py") == []
+
+
+class TestClosureCapture:
+    def test_lambda_capturing_view_is_flagged(self):
+        src = (
+            "def f(buf, schedule):\n"
+            "    v = memoryview(buf)\n"
+            "    schedule(lambda: v[0])\n"
+        )
+        fs = scan_views_source(src, "m.py")
+        assert codes(fs) == ["MVE302"]
+        assert fs[0].symbol == "v"
+
+    def test_lambda_over_copies_is_fine(self):
+        src = (
+            "def f(buf, schedule):\n"
+            "    b = bytes(memoryview(buf))\n"
+            "    schedule(lambda: b[0])\n"
+        )
+        assert scan_views_source(src, "m.py") == []
+
+
+class TestWriteAfterHandoff:
+    def test_write_after_awaited_handoff_is_flagged(self):
+        src = (
+            "async def f(writer, buf):\n"
+            "    v = memoryview(buf)\n"
+            "    await writer.send(v)\n"
+            "    buf[0] = 1\n"
+        )
+        fs = scan_views_source(src, "m.py")
+        assert codes(fs) == ["MVE303"]
+        assert fs[0].symbol == "buf"
+
+    def test_write_before_handoff_is_fine(self):
+        src = (
+            "async def f(writer, buf):\n"
+            "    buf[0] = 1\n"
+            "    v = memoryview(buf)\n"
+            "    await writer.send(v)\n"
+        )
+        assert scan_views_source(src, "m.py") == []
+
+    def test_unrelated_buffer_write_is_fine(self):
+        src = (
+            "async def f(writer, buf, other):\n"
+            "    await writer.send(memoryview(buf))\n"
+            "    other[0] = 1\n"
+        )
+        assert scan_views_source(src, "m.py") == []
+
+
+class TestLiveTree:
+    def test_project_views_are_clean(self):
+        assert scan_views_project() == []

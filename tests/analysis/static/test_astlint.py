@@ -155,3 +155,81 @@ class TestGatewayIsNotASeam:
         fs = lint_project(tmp_path)
         assert symbols(fs) == ["time.monotonic"]
         assert fs[0].path == "gateway/objstore.py"
+
+
+class TestSeamBoundary:
+    """Regression: seam matching is exact-boundary, never prefix.
+
+    The old ``rel.startswith(seam)`` exempted same-prefix *siblings* --
+    a seam ``"sim"`` silently skipped ``simulators/`` and
+    ``sim_extras.py`` too, carving an unreviewed lint hole one rename
+    wide.  ``seam_match`` requires ``rel == seam``, ``rel == seam.py``
+    or ``rel.startswith(seam + "/")``.
+    """
+
+    VIOLATION = "import time\ntime.sleep(1)\n"
+
+    def _tree(self, tmp_path: Path) -> Path:
+        for rel in ("sim/clock.py", "sim_extras.py", "simulators/fake.py"):
+            p = tmp_path / rel
+            p.parent.mkdir(parents=True, exist_ok=True)
+            p.write_text(self.VIOLATION)
+        return tmp_path
+
+    def test_sibling_directories_are_not_exempted(self, tmp_path: Path):
+        fs = lint_project(self._tree(tmp_path), seams=("sim",))
+        assert sorted(f.path for f in fs) == [
+            "sim_extras.py", "simulators/fake.py"
+        ]
+
+    def test_trailing_slash_spelling_is_equivalent(self, tmp_path: Path):
+        bare = lint_project(self._tree(tmp_path), seams=("sim",))
+        slashed = lint_project(tmp_path, seams=("sim/",))
+        # "sim/" exempts the subtree but not sim.py; "sim" exempts both.
+        assert {f.path for f in bare} <= {f.path for f in slashed}
+        assert "sim/clock.py" not in {f.path for f in slashed}
+
+    def test_seam_py_file_is_exempt(self, tmp_path: Path):
+        (tmp_path / "sim.py").write_text(self.VIOLATION)
+        fs = lint_project(tmp_path, seams=("sim",))
+        assert fs == []
+
+
+class TestTestsTreeSweep:
+    """The sim-seam invariant holds over ``tests/`` as well.
+
+    Library code earns determinism through injected clocks and seeded
+    generators; a test that sleeps or polls the wall clock undoes that
+    work from the outside.  The allowlist (``TESTS_SEAMS``) names the
+    files whose wall-clock use is the point -- bench tests, the
+    RealClock half of the clock seam, fuzz time budgets, and subprocess
+    CLI orchestration -- and nothing else.
+    """
+
+    def _tests_root(self) -> Path:
+        # tests/analysis/static/test_astlint.py -> tests/
+        return Path(__file__).resolve().parents[2]
+
+    def test_tests_tree_is_clean_under_allowlist(self):
+        from repro.analysis.static.astlint import TESTS_SEAMS
+
+        fs = lint_project(self._tests_root(), seams=TESTS_SEAMS)
+        assert fs == [], "\n".join(str(f) for f in fs)
+
+    def test_allowlist_entries_all_exist(self):
+        """A stale allowlist entry is a lint hole; fail on it."""
+        from repro.analysis.concurrency.findings import seam_match
+        from repro.analysis.static.astlint import TESTS_SEAMS
+
+        root = self._tests_root()
+        rels = {p.relative_to(root).as_posix() for p in root.rglob("*.py")}
+        for seam in TESTS_SEAMS:
+            assert any(seam_match(rel, seam) for rel in rels), (
+                f"allowlist entry {seam!r} matches no file under tests/"
+            )
+
+    def test_allowlist_is_load_bearing(self):
+        """Sanity: the allowlisted files do contain wall-clock calls --
+        if they all went clean, the allowlist should shrink."""
+        fs = lint_project(self._tests_root(), seams=())
+        assert fs, "tests/ lints clean with no allowlist: drop TESTS_SEAMS"

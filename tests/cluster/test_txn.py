@@ -237,6 +237,40 @@ class TestNodeCrashSweep:
 
         asyncio.run(run())
 
+    def test_abort_reply_crash_is_idempotent(self):
+        """A node dying *after* dropping the intent but before replying
+        (``abort-before-reply``) has already aborted durably; recovery
+        finds nothing pending and a re-sent abort is a no-op."""
+
+        async def run():
+            code, cluster = sim_cluster()
+            async with cluster:
+                arr = cluster.array(policy=FAST_POLICY)
+                old = make_stripe(code, seed=1)
+                new = make_stripe(code, seed=2)
+                await arr.write_stripe(0, old)
+                await arr._column_request(
+                    0, "prepare",
+                    {"txn": "x-1", "stripe": 0, "part": [0]},
+                    np.ascontiguousarray(new[0]).tobytes(),
+                )
+                cluster.nodes[0].crashes.arm("abort-before-reply")
+                writer = TwoPhaseWriter(arr, client_id="x")
+                await writer._abort("x-1", [0])  # crash swallowed: presumed abort
+                assert not cluster.nodes[0].running
+                await cluster.restart_node(0)
+                arr.replace_node(0, cluster.nodes[0].address)
+                # The intent was dropped before the crash: nothing pends.
+                outcome = await writer.recover()
+                assert outcome == {"rolled_forward": [], "rolled_back": []}
+                assert no_pending_intents(cluster)
+                # Re-sending the abort must be a harmless no-op.
+                reply, _ = await arr._column_request(0, "abort", {"txn": "x-1"})
+                assert reply["state"] == "aborted"
+                assert column_states(cluster, 0, old, new)[0] == "old"
+
+        asyncio.run(run())
+
 
 class TestDegradedTxn:
     def test_beyond_budget_aborts(self):

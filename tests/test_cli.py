@@ -145,6 +145,71 @@ class TestAnalyze:
         with pytest.raises(SystemExit):
             main(["analyze", "--p", "five"])
 
+    def test_concurrency_only_mode(self, capsys):
+        rc = main(["analyze", "--concurrency"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "concurrency passes:" in out
+        assert "static analysis" not in out  # proofs skipped
+
+    def test_json_to_stdout(self, capsys):
+        rc = main(["analyze", "--concurrency", "--json", "-"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        start = out.index("{")
+        end = out.rindex("}") + 1
+        payload = json.loads(out[start:end])
+        assert payload["ok"] is True
+        assert payload["exit_code"] == 0
+        assert set(payload["concurrency"]["per_pass"]) == {
+            "async", "locks", "views", "protocol"
+        }
+
+    def test_full_run_includes_concurrency(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        rc = main(["analyze", "--families", "evenodd", "--p", "5", "--k", "3",
+                   "--json", str(report)])
+        assert rc == 0
+        payload = json.loads(report.read_text())
+        assert payload["ok"] and payload["concurrency"]["ok"]
+        assert payload["n_geometries"] == 1  # prover fields still present
+
+    def test_findings_exit_one(self, monkeypatch, capsys):
+        # Seed one finding through the baseline checker: a stale entry
+        # is itself a finding, so point the analyzer at a ghost baseline.
+        import repro.analysis.concurrency as conc
+
+        real = conc.run_concurrency_analysis
+
+        def with_ghost_baseline(root=None, **kw):
+            from repro.analysis.concurrency.findings import Finding
+            report = real(root, **kw)
+            report.findings.append(
+                Finding("BASE001", "ghost.py", 0, "x", "stale entry")
+            )
+            return report
+
+        monkeypatch.setattr(
+            "repro.analysis.concurrency.run_concurrency_analysis",
+            with_ghost_baseline,
+        )
+        rc = main(["analyze", "--concurrency"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "analysis FAILED" in out and "BASE001" in out
+
+    def test_tool_error_exit_two(self, monkeypatch, capsys):
+        def broken(root=None, **kw):
+            raise ValueError("malformed baseline entry")
+
+        monkeypatch.setattr(
+            "repro.analysis.concurrency.run_concurrency_analysis", broken
+        )
+        rc = main(["analyze", "--concurrency"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "analyze ERROR" in err
+
 
 @pytest.mark.slow
 class TestServeAndStats:
