@@ -587,6 +587,7 @@ def cmd_sim_fuzz(args) -> int:
         shrink=not args.no_shrink,
         chaos=args.chaos,
         objects=args.objects,
+        membership=args.membership,
         on_progress=progress,
     )
     if failure is None:
@@ -618,11 +619,13 @@ def cmd_sim_run(args) -> int:
     from repro.sim.scenario import generate_scenario, run_scenario
 
     scenario = generate_scenario(args.seed, chaos=args.chaos,
-                                 objects=args.objects)
+                                 objects=args.objects,
+                                 elastic=args.membership)
     result = run_scenario(scenario)
+    pool = f" nodes={scenario.n_nodes}" if scenario.n_nodes else ""
     print(f"scenario seed={args.seed}: {scenario.code} k={scenario.k} "
           f"p={scenario.p} element={scenario.element_size}B "
-          f"stripes={scenario.n_stripes}, {len(scenario.ops)} ops")
+          f"stripes={scenario.n_stripes}{pool}, {len(scenario.ops)} ops")
     if args.trace:
         for record in result.trace:
             print(f"  {record}")
@@ -704,6 +707,55 @@ def cmd_cluster_heal(args) -> int:
                   f"{args.spare}")
             return 0
         return 0 if not any(monitor.failed) else 1
+
+    return asyncio.run(run())
+
+
+def cmd_cluster_membership(args) -> int:
+    """``repro cluster status|join|drain`` -- one node holds the table.
+
+    The node stores the membership snapshot as dumb durable state
+    behind the ``membership`` verb; mutations are validated by
+    :class:`~repro.cluster.membership.MembershipTable` on the node, so
+    illegal transitions come back as errors, not corrupted tables.
+    Draining here only marks the node DRAINING (placement-ineligible,
+    still serving); the actual strip migration is the rebalancer's job.
+    """
+    from repro.bench.report import format_table
+    from repro.cluster.client import send_verb
+
+    header: dict = {}
+    if args.cluster_command == "join":
+        host, port = _parse_address(args.address)
+        header["join"] = {"id": args.id, "host": host, "port": port,
+                          "live": args.live}
+    elif args.cluster_command == "drain":
+        header["drain"] = args.id
+
+    async def run() -> int:
+        reply, _ = await send_verb(
+            _parse_address(args.node), "membership", header,
+            timeout=args.timeout,
+        )
+        if reply.get("status") != "ok":
+            print(f"error: {reply.get('error')}: {reply.get('detail')}")
+            return 1
+        table = reply.get("membership", {})
+        rows = [
+            {
+                "node": entry["id"],
+                "state": entry["state"],
+                "address": f"{entry['address'][0]}:{entry['address'][1]}",
+                "since_epoch": entry["since_epoch"],
+            }
+            for entry in table.get("nodes", ())
+        ]
+        title = f"membership @ epoch {table.get('epoch', 0)}"
+        if rows:
+            print(format_table(rows, title=title))
+        else:
+            print(f"{title}: no nodes recorded")
+        return 0
 
     return asyncio.run(run())
 
@@ -872,6 +924,9 @@ def build_parser() -> argparse.ArgumentParser:
     fz.add_argument("--objects", action="store_true",
                     help="route the data plane through the object gateway "
                          "(put/get/update/delete with a shadow oracle)")
+    fz.add_argument("--membership", action="store_true",
+                    help="interleave elastic membership-churn campaigns "
+                         "(join/leave/drain/epoch bumps + convergence proof)")
     fz.set_defaults(func=cmd_sim_fuzz)
 
     rp = sim_sub.add_parser("replay", help="re-run a recorded repro file")
@@ -885,6 +940,8 @@ def build_parser() -> argparse.ArgumentParser:
                     help="generate the scenario with the self-healing op set")
     rn.add_argument("--objects", action="store_true",
                     help="generate the scenario with object-gateway traffic")
+    rn.add_argument("--membership", action="store_true",
+                    help="generate an elastic membership-churn campaign")
     rn.set_defaults(func=cmd_sim_run)
 
     cl = sub.add_parser("cluster", help="operate a running stripe cluster")
@@ -926,6 +983,37 @@ def build_parser() -> argparse.ArgumentParser:
     hl.add_argument("--spare", default=None, metavar="HOST:PORT",
                     help="blank replacement node for --rebuild")
     hl.set_defaults(func=cmd_cluster_heal)
+
+    st = cl_sub.add_parser(
+        "status", help="print the membership table a node is holding"
+    )
+    st.add_argument("node", metavar="HOST:PORT",
+                    help="any node holding the membership snapshot")
+    st.add_argument("--timeout", type=float, default=5.0)
+    st.set_defaults(func=cmd_cluster_membership)
+
+    jn = cl_sub.add_parser(
+        "join", help="announce a node to the cluster's membership table"
+    )
+    jn.add_argument("node", metavar="HOST:PORT",
+                    help="any node holding the membership snapshot")
+    jn.add_argument("id", help="joining node's identity (e.g. n7)")
+    jn.add_argument("address", metavar="HOST:PORT",
+                    help="joining node's data address")
+    jn.add_argument("--live", action="store_true",
+                    help="admit straight into the placement pool instead of "
+                         "waiting in JOINING for a heartbeat verdict")
+    jn.add_argument("--timeout", type=float, default=5.0)
+    jn.set_defaults(func=cmd_cluster_membership)
+
+    dr = cl_sub.add_parser(
+        "drain", help="mark a node DRAINING (still serving, not placing)"
+    )
+    dr.add_argument("node", metavar="HOST:PORT",
+                    help="any node holding the membership snapshot")
+    dr.add_argument("id", help="node identity to drain")
+    dr.add_argument("--timeout", type=float, default=5.0)
+    dr.set_defaults(func=cmd_cluster_membership)
     return parser
 
 

@@ -21,10 +21,18 @@ Modules:
   automatic fail-to-rebuilt healing;
 * :mod:`repro.cluster.txn` -- atomic stripe updates via two-phase
   commit (the distributed write-hole fix);
+* :mod:`repro.cluster.membership` -- epoch-numbered node states
+  (join/live/drain/dead) plus the heartbeat monitor that drives them;
+* :mod:`repro.cluster.placement` -- deterministic rendezvous placement
+  of stripes over the live pool (minimal movement under churn);
+* :mod:`repro.cluster.elastic` -- the placement-routed
+  :class:`~repro.cluster.elastic.ElasticArray` with epoch-bump retry;
+* :mod:`repro.cluster.rebalance` -- throttled, crash-safe stripe
+  migration converging routing onto placement (drains, heals, joins);
 * :mod:`repro.cluster.metrics` -- counters/histograms behind the
   ``stats`` verb and the ``repro stats`` CLI view;
-* :mod:`repro.cluster.local` -- an in-process ``k + 2``-node cluster
-  for tests and examples.
+* :mod:`repro.cluster.local` -- in-process clusters for tests and
+  examples (fixed ``k + 2`` and elastic pools).
 """
 
 from repro.cluster.client import (
@@ -37,10 +45,19 @@ from repro.cluster.client import (
     RetryPolicy,
     send_verb,
 )
+from repro.cluster.elastic import ElasticArray
 from repro.cluster.health import BreakerState, CircuitBreaker, HealthMonitor
-from repro.cluster.local import LocalCluster
+from repro.cluster.local import ElasticLocalCluster, LocalCluster
+from repro.cluster.membership import (
+    MembershipError,
+    MembershipMonitor,
+    MembershipTable,
+    NodeState,
+)
 from repro.cluster.metrics import Counter, Histogram, MetricsRegistry
 from repro.cluster.node import NodeCrashPlan, NodeCrashed, StripNode
+from repro.cluster.placement import PlacementError, PlacementMap, place_stripe
+from repro.cluster.rebalance import RebalanceError, Rebalancer, TokenBucket
 from repro.cluster.protocol import (
     FrameChecksumError,
     ProtocolError,
@@ -62,22 +79,34 @@ __all__ = [
     "ClusterScrubReport",
     "ClusterScrubber",
     "Counter",
+    "ElasticArray",
+    "ElasticLocalCluster",
     "FrameChecksumError",
     "HealthMonitor",
     "Histogram",
     "LocalCluster",
+    "MembershipError",
+    "MembershipMonitor",
+    "MembershipTable",
     "MetricsRegistry",
     "NodeClient",
     "NodeCrashPlan",
     "NodeCrashed",
+    "NodeState",
     "NodeUnavailableError",
+    "PlacementError",
+    "PlacementMap",
     "ProtocolError",
+    "RebalanceError",
+    "Rebalancer",
     "RebuildScheduler",
     "RemoteDiskError",
     "RetryPolicy",
     "StripNode",
+    "TokenBucket",
     "TwoPhaseWriter",
     "TxnCrashPoint",
+    "place_stripe",
     "encode_frame",
     "read_frame",
     "send_verb",

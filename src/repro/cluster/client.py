@@ -299,6 +299,7 @@ class NodeClient:
             budget = remaining()
             if expired(budget):
                 self.metrics.counter("deadline_exceeded").inc()
+                self.metrics.counter(f"deadline_exceeded_{verb}").inc()
                 raise DeadlineExceededError(
                     f"node {self.address}: deadline {policy.deadline}s exhausted "
                     f"after {attempt} attempt(s)"
@@ -338,12 +339,18 @@ class NodeClient:
                     # Sleeping would burn the whole budget with no
                     # attempt left to spend it on: fail now, honestly.
                     self.metrics.counter("deadline_exceeded").inc()
+                    self.metrics.counter(f"deadline_exceeded_{verb}").inc()
                     raise DeadlineExceededError(
                         f"node {self.address}: backoff of {delay:.3f}s exceeds "
                         f"remaining deadline budget {max(budget, 0.0):.3f}s"
                     )
                 self.metrics.counter("retries").inc()
                 await clock.sleep(delay)
+        # The whole retry budget burned on transport failures: surface
+        # it distinctly from per-attempt counters so dashboards can
+        # alert on *requests that failed*, per verb, not just noise.
+        self.metrics.counter("retries_exhausted").inc()
+        self.metrics.counter(f"retries_exhausted_{verb}").inc()
         raise NodeUnavailableError(
             f"node {self.address} unreachable after {policy.attempts} attempts"
         )
@@ -363,7 +370,7 @@ class ClusterArray:
     def __init__(
         self,
         code: RAID6Code,
-        addresses: list[tuple[str, int]],
+        addresses: list[tuple[str, int]] | None,
         n_stripes: int,
         *,
         policy: RetryPolicy | None = None,
@@ -373,7 +380,10 @@ class ClusterArray:
         tracer: Tracer | None = None,
         hedge_after: float | None = None,
     ) -> None:
-        if len(addresses) != code.n_cols:
+        # ``addresses=None`` is the elastic mode: a subclass overrides
+        # the ``_client_for`` / ``_breaker_for`` resolvers to route each
+        # (column, stripe) through placement instead of a fixed list.
+        if addresses is not None and len(addresses) != code.n_cols:
             raise ValueError(
                 f"need {code.n_cols} node addresses (k+2), got {len(addresses)}"
             )
@@ -388,7 +398,9 @@ class ClusterArray:
         self.rng = rng
         self.tracer = tracer
         self.hedge_after = hedge_after
-        self.clients = [self._make_client(addr) for addr in addresses]
+        self.clients = (
+            [] if addresses is None else [self._make_client(addr) for addr in addresses]
+        )
         #: per-column circuit breakers, installed by
         #: :class:`repro.cluster.health.HealthMonitor`; None = no gating
         self.breakers: list | None = None
@@ -432,12 +444,31 @@ class ClusterArray:
         """
         self.clients[column] = self._make_client(address)
         if self.breakers is not None:
-            self.breakers[column].record_success()
+            self.breakers[column].reset()
 
     # -- strip RPCs --------------------------------------------------------
 
+    def _client_for(self, column: int, stripe: int | None) -> NodeClient:
+        """Resolve the node serving ``column`` (of ``stripe``).
+
+        The static array ignores ``stripe`` -- column *c* lives on node
+        *c* forever.  :class:`~repro.cluster.elastic.ElasticArray`
+        overrides this to route through the placement map at the
+        current membership epoch.
+        """
+        return self.clients[column]
+
+    def _breaker_for(self, column: int, stripe: int | None):
+        return self.breakers[column] if self.breakers is not None else None
+
     async def _column_request(
-        self, column: int, verb: str, header: dict | None = None, payload: bytes = b""
+        self,
+        column: int,
+        verb: str,
+        header: dict | None = None,
+        payload: bytes = b"",
+        *,
+        stripe: int | None = None,
     ) -> tuple[dict, bytes]:
         """Data-plane RPC to one column, gated by its circuit breaker.
 
@@ -446,14 +477,16 @@ class ClusterArray:
         sees every probe.  :class:`RemoteDiskError` counts as a
         *success* -- the node answered, its disk is the problem.
         """
-        breaker = self.breakers[column] if self.breakers is not None else None
+        breaker = self._breaker_for(column, stripe)
         if breaker is not None and not breaker.allow():
             self.metrics.counter("breaker_short_circuits").inc()
             raise NodeUnavailableError(
                 f"column {column}: circuit breaker open"
             )
         try:
-            result = await self.clients[column].request(verb, header, payload)
+            result = await self._client_for(column, stripe).request(
+                verb, header, payload
+            )
         except NodeUnavailableError:
             if breaker is not None:
                 breaker.record_failure()
@@ -467,7 +500,9 @@ class ClusterArray:
         return result
 
     async def _fetch_strip(self, column: int, stripe: int) -> np.ndarray:
-        _, payload = await self._column_request(column, "get", {"stripe": stripe})
+        _, payload = await self._column_request(
+            column, "get", {"stripe": stripe}, stripe=stripe
+        )
         words = np.frombuffer(payload, dtype=WORD_DTYPE)
         expected = self.code.rows * (self.code.element_size // 8)
         if words.size != expected:
@@ -482,7 +517,11 @@ class ClusterArray:
         # usual stripe-column slice and keeps the buffer alive via the
         # view for the rare strided caller).
         await self._column_request(
-            column, "put", {"stripe": stripe}, np.ascontiguousarray(strip).data
+            column,
+            "put",
+            {"stripe": stripe},
+            np.ascontiguousarray(strip).data,
+            stripe=stripe,
         )
 
     async def _gather_columns(

@@ -54,6 +54,19 @@ class CircuitBreaker:
     cooldown runs as a HALF_OPEN trial -- success closes the breaker,
     failure re-opens it for another cooldown.  Time comes from the
     injected clock, never the wall.
+
+    ``min_open_interval`` is the flap guard: a success reported while
+    the breaker is still OPEN (e.g. an out-of-band probe racing the
+    data path) is *ignored* for the first ``min_open_interval``
+    clock-seconds after the trip, counted on the ``breaker_flaps``
+    metric instead of closing the breaker.  Without it, alternating
+    success/failure oscillates the breaker every probe and the data
+    path never gets a stable degraded mode.  The default of ``0``
+    keeps the historical close-on-any-success behaviour; the guard
+    never delays the HALF_OPEN trial, which may still close the
+    breaker after ``reset_timeout``.  :meth:`reset` bypasses the guard
+    for the cases where the node genuinely changed (rebuild onto a
+    fresh replacement).
     """
 
     def __init__(
@@ -62,10 +75,14 @@ class CircuitBreaker:
         *,
         failure_threshold: int = 3,
         reset_timeout: float = 5.0,
+        min_open_interval: float = 0.0,
+        metrics=None,
     ) -> None:
         self.clock = clock
         self.failure_threshold = int(failure_threshold)
         self.reset_timeout = float(reset_timeout)
+        self.min_open_interval = float(min_open_interval)
+        self.metrics = metrics
         self._state = BreakerState.CLOSED
         self._failures = 0
         self._opened_at = 0.0
@@ -84,6 +101,20 @@ class CircuitBreaker:
         return self.state is not BreakerState.OPEN
 
     def record_success(self) -> None:
+        if (
+            self.state is BreakerState.OPEN
+            and self.clock.time() - self._opened_at < self.min_open_interval
+        ):
+            # Flap guard: the breaker just tripped; one lucky success
+            # does not un-trip it.  Count the suppressed flap and keep
+            # the cooldown running.
+            if self.metrics is not None:
+                self.metrics.counter("breaker_flaps").inc()
+            return
+        self.reset()
+
+    def reset(self) -> None:
+        """Force-close, bypassing the flap guard (node was replaced)."""
         self._failures = 0
         self._state = BreakerState.CLOSED
 
@@ -129,6 +160,7 @@ class HealthMonitor:
         probe_timeout: float = 0.5,
         failure_threshold: int = 3,
         reset_timeout: float = 5.0,
+        min_open_interval: float = 0.0,
         spare_provider=None,
         on_rebuilt=None,
         rebuild_batch: int = 16,
@@ -150,6 +182,8 @@ class HealthMonitor:
                 self.clock,
                 failure_threshold=failure_threshold,
                 reset_timeout=reset_timeout,
+                min_open_interval=min_open_interval,
+                metrics=array.metrics,
             )
             for _ in range(n)
         ]
@@ -231,7 +265,9 @@ class HealthMonitor:
                 self.healing.discard(col)
             self.failed[col] = False
             self.misses[col] = 0
-            self.array.breakers[col].record_success()
+            # reset(), not record_success(): the column is a brand-new
+            # node, so the flap guard must not keep it short-circuited.
+            self.array.breakers[col].reset()
             self.array.metrics.counter("columns_healed").inc()
             healed.append(col)
         return healed

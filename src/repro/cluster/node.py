@@ -43,7 +43,8 @@ __all__ = ["NodeCrashPlan", "NodeCrashed", "NodeIntent", "StripNode"]
 #: (``intents``, ``txn-status``) always get through, so a sick node
 #: stays diagnosable and repairable.
 _DATA_VERBS = frozenset(
-    {"get", "put", "ping", "scrub-read", "prepare", "commit", "abort"}
+    {"get", "put", "ping", "scrub-read", "prepare", "commit", "abort",
+     "migrate-in", "release"}
 )
 
 
@@ -77,6 +78,10 @@ class NodeCrashPlan:
         "commit-before-reply",
         "abort-before-drop",
         "abort-before-reply",
+        "migrate-before-log",
+        "migrate-before-reply",
+        "release-before-drop",
+        "release-before-reply",
     )
 
     def __init__(self) -> None:
@@ -144,6 +149,10 @@ class StripNode:
         self.txn_done: dict[str, str] = {}
         #: per-strip CRC-32 sidecars, refreshed on every applied write
         self.checksums: dict[int, int] = {}
+        #: last membership snapshot installed via the ``membership``
+        #: verb (nodes gossip/serve the table but never interpret it --
+        #: routing stays the client's job)
+        self.membership_header: dict | None = None
         self.metrics = MetricsRegistry()
         self.transport = transport if transport is not None else AsyncioTransport()
         self.clock = clock if clock is not None else RealClock()
@@ -335,6 +344,12 @@ class StripNode:
             return self._serve_commit(header), b""
         if verb == "abort":
             return self._serve_abort(header), b""
+        if verb == "migrate-in":
+            return self._serve_migrate_in(header, payload), b""
+        if verb == "release":
+            return self._serve_release(header), b""
+        if verb == "membership":
+            return self._serve_membership(header), b""
         if verb == "txn-status":
             txn = str(header["txn"])
             state = self.txn_done.get(
@@ -354,6 +369,9 @@ class StripNode:
             return {
                 "status": "ok",
                 "column": self.column,
+                # strips this node actually holds (has a CRC sidecar
+                # for): the rebalancer's drain-progress denominator
+                "held": len(self.checksums),
                 "stats": self.metrics.snapshot(),
                 "disk": {
                     "reads": self.disk.stats.reads,
@@ -491,6 +509,116 @@ class StripNode:
         if self.crashes.fires("abort-before-reply"):
             raise NodeCrashed(f"abort({txn}): crashed before replying")
         return {"status": "ok", "txn": txn, "state": "aborted", "applied": known}
+
+    # -- migration & membership verbs ----------------------------------------
+
+    def _serve_migrate_in(self, header: dict, payload: bytes) -> dict:
+        """Phase 1 of a stripe migration: stage the incoming strip image.
+
+        Structurally a ``prepare`` (the intent rides the same durable
+        log and the same idempotent ``commit`` verb applies it), but a
+        separate verb because the reply must carry the CRC-32 of the
+        staged bytes: the coordinator compares it against the source's
+        sidecar before committing, so a frame mangled in flight is
+        caught *before* the copy becomes authoritative, not after.
+        """
+        txn = str(header["txn"])
+        if self.crashes.fires("migrate-before-log"):
+            raise NodeCrashed(f"migrate-in({txn}): crashed before logging intent")
+        stripe = int(header["stripe"])
+        if not 0 <= stripe < self.disk.n_strips:
+            raise IndexError(f"stripe {stripe} out of range [0, {self.disk.n_strips})")
+        done = self.txn_done.get(txn)
+        if done is not None:  # re-run after a lost reply: answer from state
+            return {
+                "status": "ok", "txn": txn, "state": done,
+                "crc": self.checksums.get(stripe, 0),
+            }
+        words = np.frombuffer(payload, dtype=WORD_DTYPE).copy()
+        if words.size != self.disk.strip_words:
+            raise ValueError(
+                f"migrate-in payload {words.size} words != strip "
+                f"{self.disk.strip_words}"
+            )
+        crc = zlib.crc32(payload)
+        self.intents[txn] = NodeIntent(txn, stripe, words, [])
+        self.metrics.counter("migrations_staged").inc()
+        if self.crashes.fires("migrate-before-reply"):
+            raise NodeCrashed(f"migrate-in({txn}): crashed before replying")
+        return {"status": "ok", "txn": txn, "state": "pending", "crc": crc}
+
+    def _serve_release(self, header: dict) -> dict:
+        """Drop a migrated-away strip: zero it and retire its sidecar.
+
+        The last step of a migration, issued only after the new copy is
+        committed and verified elsewhere.  ``crc`` (when present) is
+        the coordinator's fencing token -- the sidecar it verified; if
+        the strip changed since (a foreground write raced the
+        migration), the release is refused and the coordinator must
+        re-migrate the fresh bytes.  Releasing an absent strip succeeds
+        idempotently, so a coordinator that lost the reply can resend.
+        """
+        stripe = int(header["stripe"])
+        if self.crashes.fires("release-before-drop"):
+            raise NodeCrashed(f"release({stripe}): crashed before dropping strip")
+        stored = self.checksums.get(stripe)
+        if stored is None:
+            return {"status": "ok", "stripe": stripe, "released": True,
+                    "reason": "absent"}
+        expected = header.get("crc")
+        if expected is not None and int(expected) != stored:
+            self.metrics.counter("release_fenced").inc()
+            return {"status": "ok", "stripe": stripe, "released": False,
+                    "reason": "crc-mismatch"}
+        self.disk.write_strip(
+            stripe, np.zeros(self.disk.strip_words, dtype=WORD_DTYPE)
+        )
+        del self.checksums[stripe]
+        self.metrics.counter("strips_released").inc()
+        if self.crashes.fires("release-before-reply"):
+            raise NodeCrashed(f"release({stripe}): crashed before replying")
+        return {"status": "ok", "stripe": stripe, "released": True}
+
+    def _serve_membership(self, header: dict) -> dict:
+        """Store/serve/mutate the cluster membership snapshot.
+
+        The node hosts the table as dumb durable state (the CLI's
+        join/drain/status talk to any one node); interpretation --
+        placement, routing -- stays client-side.  Mutations go through
+        :class:`~repro.cluster.membership.MembershipTable` so epoch
+        bumps and state-transition rules hold no matter who asks.
+        """
+        from repro.cluster.membership import MembershipTable
+
+        mutating = [
+            op for op in ("join", "drain", "remove", "mark_live", "mark_dead")
+            if op in header
+        ]
+        if "set" in header:
+            self.membership_header = dict(header["set"])
+        elif mutating:
+            table = MembershipTable.from_header(self.membership_header or {})
+            if "join" in header:
+                info = header["join"]
+                table.join(
+                    str(info["id"]),
+                    (str(info["host"]), int(info["port"])),
+                    live=bool(info.get("live")),
+                )
+            if "drain" in header:
+                table.drain(str(header["drain"]))
+            if "remove" in header:
+                table.remove(str(header["remove"]))
+            if "mark_live" in header:
+                table.mark_live(str(header["mark_live"]))
+            if "mark_dead" in header:
+                table.mark_dead(str(header["mark_dead"]))
+            self.membership_header = table.to_header()
+        return {
+            "status": "ok",
+            "column": self.column,
+            "membership": self.membership_header or {"epoch": 0, "nodes": []},
+        }
 
     def _serve_fault(self, header: dict) -> dict:
         """Install network faults and/or trigger disk faults remotely."""

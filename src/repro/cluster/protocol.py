@@ -18,15 +18,29 @@ checksum discipline.
 
 Verbs understood by :class:`~repro.cluster.node.StripNode`:
 
-===========  =========================================================
-``ping``     liveness probe
-``put``      store the payload as strip ``stripe``
-``get``      return strip ``stripe`` as the reply payload
-``stats``    return the node's metrics snapshot in the reply header
-``fault``    install a :class:`~repro.array.faults.NetworkFaultPlan`
-             and/or trigger disk faults (fail / latent / replace)
-``shutdown`` stop serving after acknowledging
-===========  =========================================================
+==============  ======================================================
+``ping``        liveness probe
+``put``         store the payload as strip ``stripe``
+``get``         return strip ``stripe`` as the reply payload
+``scrub-read``  compare strip ``stripe``'s CRC sidecar to its contents
+``prepare``     2PC phase 1: durably log the payload as a write intent
+``commit``      2PC phase 2: apply + retire the intent (idempotent)
+``abort``       drop a pending intent
+``txn-status``  report a transaction's state (recovery plane)
+``intents``     list pending write intents (recovery plane)
+``migrate-in``  stage an incoming migrated strip as an intent; the
+                reply carries the staged bytes' CRC-32 for end-to-end
+                verification before the coordinator commits
+``release``     zero a migrated-away strip and drop its sidecar,
+                fenced by the coordinator-verified ``crc``
+``membership``  get/set/mutate the hosted membership snapshot
+                (join / drain / remove / mark_live / mark_dead)
+``stats``       return the node's metrics snapshot in the reply header
+``metrics``     Prometheus text exposition of the node's registry
+``fault``       install a :class:`~repro.array.faults.NetworkFaultPlan`
+                and/or trigger disk faults (fail / latent / replace)
+``shutdown``    stop serving after acknowledging
+==============  ======================================================
 
 Replies carry ``{"status": "ok"}`` or ``{"status": "err", "error":
 <kind>, "detail": <str>}``.

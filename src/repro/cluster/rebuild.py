@@ -73,16 +73,35 @@ class RebuildScheduler:
 
     # -- the rebuild proper ------------------------------------------------
 
-    async def rebuild_column(self, column: int, address: tuple[str, int]) -> int:
-        """Reconstruct ``column`` onto the node at ``address``.
+    async def rebuild_column(
+        self,
+        column: int,
+        address: tuple[str, int] | None = None,
+        *,
+        target_provider=None,
+    ) -> int:
+        """Reconstruct ``column`` onto a replacement node.
 
-        The replacement node must already be listening (a blank
+        The target is either a fixed ``address`` or, when ``address``
+        is None, whatever the async ``target_provider(column)``
+        callable picks at rebuild time -- the hook that lets healing
+        choose placement-driven targets (a spare pool, the membership
+        table's join queue) instead of a hard-wired spare.  The
+        replacement node must already be listening (a blank
         :class:`~repro.cluster.node.StripNode` of the same geometry).
         On success the array's column is repointed at it, restoring
         full redundancy.  Returns the number of stripes rebuilt.
+
+        Elastic arrays do not use column rebuilds at all: a dead node
+        there is healed by the rebalancer re-placing its strips
+        (decode on read, placement-chosen targets per stripe).
         """
         array = self.array
         code = array.code
+        if address is None:
+            if target_provider is None:
+                raise ValueError("need an address or a target_provider")
+            address = await target_provider(column)
         if not 0 <= column < code.n_cols:
             raise ValueError(f"column {column} out of range [0, {code.n_cols})")
         metrics = array.metrics

@@ -122,7 +122,7 @@ class ClusterScrubber:
 
         async def probe(col: int) -> bool:
             reply, _ = await self.array._column_request(
-                col, "scrub-read", {"stripe": stripe}
+                col, "scrub-read", {"stripe": stripe}, stripe=stripe
             )
             return bool(reply.get("match"))
 

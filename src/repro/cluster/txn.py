@@ -107,7 +107,11 @@ class TwoPhaseWriter:
         self, column: int, verb: str, header: dict, payload: bytes = b""
     ) -> dict:
         self.crash.step()
-        reply, _ = await self.array._column_request(column, verb, header, payload)
+        # The stripe rides along for routing: on an elastic array the
+        # (column, stripe) pair resolves to a node via placement.
+        reply, _ = await self.array._column_request(
+            column, verb, header, payload, stripe=header.get("stripe")
+        )
         return reply
 
     # -- the write protocol --------------------------------------------------
@@ -144,7 +148,7 @@ class TwoPhaseWriter:
                 prepared.append(col)
 
         if len(skipped) > 2:
-            await self._abort(txn, prepared)
+            await self._abort(txn, prepared, stripe=stripe)
             raise ClusterDegradedError(
                 f"stripe {stripe}: txn {txn} lost columns {skipped}"
             )
@@ -153,7 +157,7 @@ class TwoPhaseWriter:
         dirty: list[int] = []
         for col in prepared:
             try:
-                await self._rpc(col, "commit", {"txn": txn})
+                await self._rpc(col, "commit", {"txn": txn, "stripe": stripe})
             except (NodeUnavailableError, RemoteDiskError):
                 # The decision was commit; this participant crashed or
                 # vanished before acknowledging.  Its intent (or its
@@ -173,10 +177,12 @@ class TwoPhaseWriter:
             array.dirty_stripes.pop(stripe, None)
         return skipped
 
-    async def _abort(self, txn: str, columns: list[int]) -> None:
+    async def _abort(
+        self, txn: str, columns: list[int], *, stripe: int | None = None
+    ) -> None:
         for col in columns:
             try:
-                await self._rpc(col, "abort", {"txn": txn})
+                await self._rpc(col, "abort", {"txn": txn, "stripe": stripe})
             except (NodeUnavailableError, RemoteDiskError):
                 pass  # presumed abort: an unreachable node aborts on recovery
 

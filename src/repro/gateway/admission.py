@@ -40,7 +40,18 @@ class Overloaded(Exception):
     subclass -- nothing is wrong with the cluster; the front door is
     full.  Callers should back off and retry; nothing was executed and
     no state changed.
+
+    ``retry_after`` is the server's backoff hint in seconds: the
+    estimated time for the current backlog to drain one queue slot
+    (queue depth x observed mean service time / parallelism).  ``None``
+    when the controller has no service-time observations yet; clients
+    without better information should sleep roughly this long before
+    retrying instead of hammering a full queue.
     """
+
+    def __init__(self, message: str, *, retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class AdmissionController:
@@ -66,10 +77,32 @@ class AdmissionController:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.inflight = 0
         self._waiters: deque[asyncio.Future] = deque()
+        #: EWMA of observed service times, fed by :meth:`slot`; the
+        #: basis of the ``retry_after`` hint on shed requests
+        self._service_ewma: float | None = None
 
     @property
     def queued(self) -> int:
         return sum(1 for f in self._waiters if not f.done())
+
+    def retry_after_hint(self) -> float | None:
+        """Backoff advice for a shed request, from queue depth.
+
+        Time for one queue slot to open up: everyone ahead (the whole
+        queue plus our would-be place in it) must be served across
+        ``max_inflight`` lanes at the observed mean service time.
+        """
+        if self._service_ewma is None:
+            return None
+        ahead = self.queued + 1
+        return ahead * self._service_ewma / self.max_inflight
+
+    def observe_service_time(self, seconds: float) -> None:
+        alpha = 0.2
+        if self._service_ewma is None:
+            self._service_ewma = float(seconds)
+        else:
+            self._service_ewma += alpha * (float(seconds) - self._service_ewma)
 
     def _gauges(self) -> None:
         self.metrics.gauge("gateway_inflight").set(self.inflight)
@@ -87,7 +120,8 @@ class AdmissionController:
             self.metrics.counter("gateway_shed_queue_full").inc()
             raise Overloaded(
                 f"admission queue full ({self.max_queue} waiting, "
-                f"{self.inflight} in flight)"
+                f"{self.inflight} in flight)",
+                retry_after=self.retry_after_hint(),
             )
         fut: asyncio.Future = asyncio.get_running_loop().create_future()
         self._waiters.append(fut)
@@ -109,7 +143,8 @@ class AdmissionController:
             self.metrics.counter("gateway_shed_timeout").inc()
             self._gauges()
             raise Overloaded(
-                f"queued longer than {self.queue_timeout}s"
+                f"queued longer than {self.queue_timeout}s",
+                retry_after=self.retry_after_hint(),
             ) from None
         except asyncio.CancelledError:
             if fut.done() and not fut.cancelled():
@@ -146,9 +181,15 @@ class AdmissionController:
 
     @contextlib.asynccontextmanager
     async def slot(self):
-        """``async with controller.slot():`` -- acquire/release pair."""
+        """``async with controller.slot():`` -- acquire/release pair.
+
+        Also times the slot's occupancy, feeding the service-time EWMA
+        behind :meth:`retry_after_hint`.
+        """
         await self.acquire()
+        t0 = self.clock.time()
         try:
             yield
         finally:
+            self.observe_service_time(self.clock.time() - t0)
             self.release()

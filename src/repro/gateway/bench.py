@@ -127,10 +127,17 @@ class WorkloadReport:
     ok: int = 0
     shed: int = 0
     errors: int = 0
+    retried: int = 0  # ops that slept a server retry_after hint and retried
     elapsed_s: float = 0.0
     throughput_ops: float = 0.0  # completed (admitted, successful) ops/s
     latency: dict = field(default_factory=dict)  # kind -> {p50,p90,p99,mean,count}
     digest: str = ""
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of the op stream that was ultimately shed."""
+        total = self.ok + self.shed + self.errors
+        return self.shed / total if total else 0.0
 
     def to_dict(self) -> dict:
         return {
@@ -139,6 +146,8 @@ class WorkloadReport:
             "ok": self.ok,
             "shed": self.shed,
             "errors": self.errors,
+            "retried": self.retried,
+            "shed_rate": round(self.shed_rate, 6),
             "elapsed_s": self.elapsed_s,
             "throughput_ops": self.throughput_ops,
             "latency": self.latency,
@@ -214,33 +223,46 @@ async def run_workload(
     ops = _draw_ops(cfg)
     hists = {kind: Histogram(kind, base=1e-5) for kind in ("get", "put", "update")}
     records: list = [None] * len(ops)
-    counts = {"ok": 0, "shed": 0, "error": 0}
+    counts = {"ok": 0, "shed": 0, "error": 0, "retried": 0}
 
     async def one_op(i: int, kind: str, key: str, op_seed: int, offset: int) -> None:
         record: dict = {"i": i, "op": kind, "key": key}
         t0 = clock.time()
-        try:
-            if kind == "get":
-                data = await gateway.get(key)
-                record["crc"] = zlib.crc32(data) & 0xFFFFFFFF
-            elif kind == "put":
-                data = _payload(op_seed, cfg.object_size)
-                await gateway.put(key, data)
-                record["crc"] = zlib.crc32(data) & 0xFFFFFFFF
+        retried = False
+        while True:
+            try:
+                if kind == "get":
+                    data = await gateway.get(key)
+                    record["crc"] = zlib.crc32(data) & 0xFFFFFFFF
+                elif kind == "put":
+                    data = _payload(op_seed, cfg.object_size)
+                    await gateway.put(key, data)
+                    record["crc"] = zlib.crc32(data) & 0xFFFFFFFF
+                else:
+                    span = max(1, min(cfg.update_bytes, cfg.object_size))
+                    await gateway.update(key, offset, _payload(op_seed, span))
+                    record["offset"] = offset
+            except Overloaded as exc:
+                # Honour the server's backoff hint once: sleep out the
+                # estimated queue-drain time, then re-offer the op.  A
+                # hintless shed (no service-time data yet) or a second
+                # rejection counts as shed for good.
+                if exc.retry_after is not None and not retried:
+                    retried = True
+                    counts["retried"] += 1
+                    record["retried"] = True
+                    await clock.sleep(exc.retry_after)
+                    continue
+                record["outcome"] = "shed"
+                counts["shed"] += 1
+            except (GatewayError, ClusterError) as exc:
+                record["outcome"] = type(exc).__name__
+                counts["error"] += 1
             else:
-                span = max(1, min(cfg.update_bytes, cfg.object_size))
-                await gateway.update(key, offset, _payload(op_seed, span))
-                record["offset"] = offset
-        except Overloaded:
-            record["outcome"] = "shed"
-            counts["shed"] += 1
-        except (GatewayError, ClusterError) as exc:
-            record["outcome"] = type(exc).__name__
-            counts["error"] += 1
-        else:
-            record["outcome"] = "ok"
-            counts["ok"] += 1
-            hists[kind].observe(clock.time() - t0)
+                record["outcome"] = "ok"
+                counts["ok"] += 1
+                hists[kind].observe(clock.time() - t0)
+            break
         if deterministic:
             record["t"] = round(t0, 9)
             record["lat"] = round(clock.time() - t0, 9)
@@ -275,6 +297,7 @@ async def run_workload(
         ok=counts["ok"],
         shed=counts["shed"],
         errors=counts["error"],
+        retried=counts["retried"],
         elapsed_s=elapsed,
         throughput_ops=counts["ok"] / elapsed,
         latency=latency,

@@ -320,8 +320,14 @@ class ObjectGateway:
         return self.allocator.free_bytes
 
     def stats(self) -> dict:
-        """Gateway-level snapshot: directory + space + admission."""
-        return {
+        """Gateway-level snapshot: directory + space + admission.
+
+        Over an elastic array the snapshot also carries the membership
+        epoch the gateway is routing by -- every extent I/O resolves
+        (stripe, column) through the array's placement map, so the
+        epoch pins which routing generation served the numbers.
+        """
+        out = {
             "objects": len(self.index),
             "bytes_stored": sum(m.size for m in self.index.values()),
             "free_bytes": self.allocator.free_bytes,
@@ -330,3 +336,7 @@ class ObjectGateway:
             "inflight": self.admission.inflight,
             "queued": self.admission.queued,
         }
+        membership = getattr(self.array, "membership", None)
+        if membership is not None:
+            out["epoch"] = membership.epoch
+        return out

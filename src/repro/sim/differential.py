@@ -256,6 +256,7 @@ def fuzz(
     scenarios: bool = True,
     chaos: bool = False,
     objects: bool = False,
+    membership: bool = False,
     on_progress=None,
 ) -> FuzzFailure | None:
     """Drive cases until a divergence, a case budget, or a time budget.
@@ -266,9 +267,13 @@ def fuzz(
     vocabulary (scrub, heal, two-phase writes with crash injection)
     and their convergence epilogue; ``objects`` routes the data plane
     through the object gateway (puts/gets/updates/deletes with their
-    own shadow oracle), composable with ``chaos``.  Returns ``None``
-    if every oracle stayed in agreement, else a :class:`FuzzFailure`
-    whose ``shrunk`` record is minimal under the greedy reductions of
+    own shadow oracle), composable with ``chaos``.  ``membership``
+    makes every *other* scenario slot an elastic churn campaign
+    (joins, heartbeat-verdict leaves, drains, epoch bumps over an
+    elastic node pool, with the convergence epilogue proving zero
+    misplaced stripes and full redundancy).  Returns ``None`` if every
+    oracle stayed in agreement, else a :class:`FuzzFailure` whose
+    ``shrunk`` record is minimal under the greedy reductions of
     :mod:`repro.sim.shrink`.
     """
     if max_cases is None and time_budget is None:
@@ -280,9 +285,12 @@ def fuzz(
     ):
         case_seed = seed + i
         if scenarios and i % 4 == 3:
-            record = generate_scenario(
-                case_seed, chaos=chaos, objects=objects
-            ).to_dict()
+            if membership and (i // 4) % 2 == 1:
+                record = generate_scenario(case_seed, elastic=True).to_dict()
+            else:
+                record = generate_scenario(
+                    case_seed, chaos=chaos, objects=objects
+                ).to_dict()
         else:
             record = StripeCase.generate(case_seed).to_dict()
         try:

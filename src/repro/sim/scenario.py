@@ -47,7 +47,7 @@ from repro.array.faults import ALWAYS, NetworkFaultPlan
 from repro.array.raid6 import RAID6Array
 from repro.cluster.client import ClusterError, RetryPolicy
 from repro.cluster.health import HealthMonitor
-from repro.cluster.local import LocalCluster
+from repro.cluster.local import ElasticLocalCluster, LocalCluster
 from repro.cluster.rebuild import RebuildScheduler
 from repro.cluster.scrub import ClusterScrubber
 from repro.cluster.txn import ClientCrash, TwoPhaseWriter
@@ -65,6 +65,7 @@ __all__ = [
     "run_scenario",
     "SIM_POLICY",
     "GATEWAY_OPS",
+    "ELASTIC_OPS",
 ]
 
 
@@ -110,6 +111,16 @@ GATEWAY_OPS = frozenset(
      "check_objects"}
 )
 
+#: Op kinds of the membership-churn vocabulary.  Their presence switches
+#: the runner onto an :class:`~repro.cluster.local.ElasticLocalCluster`
+#: (placement-routed array, heartbeat monitor, rebalancer) instead of
+#: the fixed ``k + 2`` cluster; nodes are identities, not columns.
+#: Plain scenarios never construct them, so existing seeds keep their
+#: digests.
+ELASTIC_OPS = frozenset(
+    {"join", "leave", "drain", "epoch_bump", "rebalance", "check_placement"}
+)
+
 
 @dataclass
 class SimScenario:
@@ -121,6 +132,9 @@ class SimScenario:
     p: int = 5
     element_size: int = 8
     n_stripes: int = 2
+    #: elastic campaigns only: size of the initial node pool (0 = fixed
+    #: ``k + 2`` cluster, the historical form)
+    n_nodes: int = 0
     ops: list = field(default_factory=list)
 
     # -- (de)serialisation --------------------------------------------------
@@ -134,6 +148,7 @@ class SimScenario:
             "p": self.p,
             "element_size": self.element_size,
             "n_stripes": self.n_stripes,
+            "n_nodes": self.n_nodes,
             "ops": self.ops,
         }
 
@@ -148,6 +163,7 @@ class SimScenario:
             p=int(d["p"]),
             element_size=int(d["element_size"]),
             n_stripes=int(d["n_stripes"]),
+            n_nodes=int(d.get("n_nodes", 0)),
             ops=list(d["ops"]),
         )
 
@@ -179,7 +195,8 @@ class ScenarioResult:
 
 
 def generate_scenario(
-    seed: int, *, chaos: bool = False, objects: bool = False
+    seed: int, *, chaos: bool = False, objects: bool = False,
+    elastic: bool = False,
 ) -> SimScenario:
     """Derive a whole campaign from one integer seed.
 
@@ -203,6 +220,18 @@ def generate_scenario(
     out), so every generated op is legal by construction; a
     ``check_objects`` op before the closing ``read_all`` proves every
     surviving object readable and byte-correct.
+
+    ``elastic`` switches the campaign to membership churn over an
+    elastic node pool: joins, ungraceful leaves (stop + heartbeat
+    verdict), graceful drains and spurious epoch bumps interleave with
+    byte traffic.  The churn model is conservative by construction --
+    an ungraceful leave is immediately followed by a rebalance (so at
+    most one node's strips are ever un-redundant), drains and leaves
+    are only drawn while the surviving LIVE pool can still host every
+    column, and the pool is capped at ``k + 2 + 4`` nodes.  The
+    epilogue (rebalance, ``check_placement``, ``read_all``) makes every
+    elastic campaign prove convergence: zero misplaced stripes, every
+    holder LIVE, every strip CRC-clean on its node -- full redundancy.
     """
     rng = random.Random(seed)
     p = rng.choice(GEOMETRY_PRIMES)
@@ -213,6 +242,63 @@ def generate_scenario(
         seed=seed, k=k, p=p, element_size=element_size, n_stripes=n_stripes
     )
     capacity = k * p * element_size * n_stripes
+
+    if elastic:
+        n_cols = k + 2
+        sc.n_nodes = n_cols + rng.randint(1, 3)
+        next_id = sc.n_nodes
+        live = {f"n{i}" for i in range(sc.n_nodes)}
+
+        def espan() -> tuple[int, int]:
+            if rng.random() < 0.3:
+                return 0, capacity
+            offset = rng.randrange(capacity)
+            length = min(capacity - offset, rng.randint(1, max(1, capacity // 2)))
+            return offset, length
+
+        ops = [{"op": "write", "offset": 0, "length": capacity,
+                "seed": rng.getrandbits(31)}]
+        for _ in range(rng.randint(4, 10)):
+            choices = ["write", "read", "read_all", "epoch_bump", "rebalance"]
+            if len(live) < n_cols + 4:
+                choices.append("join")
+            if len(live) - 1 >= n_cols:
+                choices += ["leave", "drain"]
+            kind = rng.choice(choices)
+            if kind == "write":
+                offset, length = espan()
+                ops.append({"op": "write", "offset": offset, "length": length,
+                            "seed": rng.getrandbits(31)})
+            elif kind == "read":
+                offset, length = espan()
+                ops.append({"op": "read", "offset": offset, "length": length})
+            elif kind == "read_all":
+                ops.append({"op": "read_all"})
+            elif kind == "epoch_bump":
+                ops.append({"op": "epoch_bump"})
+            elif kind == "rebalance":
+                ops.append({"op": "rebalance"})
+            elif kind == "join":
+                live.add(f"n{next_id}")
+                next_id += 1
+                ops.append({"op": "join"})
+                if rng.random() < 0.5:
+                    ops.append({"op": "rebalance"})
+            elif kind == "leave":
+                node = rng.choice(sorted(live))
+                live.discard(node)
+                # Redundancy is restored before the next fault lands:
+                # the paired rebalance re-places the dead node's strips.
+                ops.append({"op": "leave", "node": node})
+                ops.append({"op": "rebalance"})
+            elif kind == "drain":
+                node = rng.choice(sorted(live))
+                live.discard(node)
+                ops.append({"op": "drain", "node": node})
+        ops += [{"op": "rebalance"}, {"op": "check_placement"},
+                {"op": "read_all"}]
+        sc.ops = ops
+        return sc
 
     impaired: set[int] = set()
     #: why each impaired column is impaired: reachability losses
@@ -438,10 +524,17 @@ def run_scenario(
         kwargs = {"p": scenario.p, "element_size": scenario.element_size}
         cluster_code = code_factory(scenario.code, scenario.k, **kwargs)
         model_code = code_factory(scenario.code, scenario.k, **kwargs)
-        cluster = LocalCluster(
-            cluster_code, scenario.n_stripes, transport=transport, clock=clock,
-            tracer=tracer,
-        )
+        elastic = any(op["op"] in ELASTIC_OPS for op in scenario.ops)
+        if elastic:
+            cluster = ElasticLocalCluster(
+                cluster_code, scenario.n_stripes, scenario.n_nodes or None,
+                transport=transport, clock=clock, tracer=tracer,
+            )
+        else:
+            cluster = LocalCluster(
+                cluster_code, scenario.n_stripes, transport=transport,
+                clock=clock, tracer=tracer,
+            )
         model = RAID6Array(model_code, scenario.n_stripes)
         trace: list = []
 
@@ -515,6 +608,16 @@ def run_scenario(
             # uses it, so plain scenarios replay with their historical
             # digests (a HealthMonitor installs circuit breakers, which
             # change the data path's failure handling).
+            # Elastic campaigns run the membership machinery: the
+            # heartbeat monitor converts a stopped node into a DEAD
+            # verdict, the rebalancer converges routing onto placement.
+            emonitor = rebalancer = None
+            if elastic:
+                emonitor = cluster.monitor(
+                    arr, miss_threshold=2, probe_timeout=0.2
+                )
+                rebalancer = cluster.rebalancer(arr)
+
             writer = scrubber = monitor = None
             if any(op["op"] in CHAOS_OPS for op in scenario.ops):
                 writer = TwoPhaseWriter(arr, client_id=f"sim-{scenario.seed}")
@@ -654,6 +757,62 @@ def run_scenario(
                     for name in sorted(obj_shadow):
                         await verify_object(i, op, name)
                     record["objects"] = len(obj_shadow)
+                elif kind == "join":
+                    record["node"] = await cluster.add_node(live=True)
+                elif kind == "leave":
+                    node_id = str(op["node"])
+                    await cluster.stop_node(node_id)
+                    # The heartbeat monitor, not the test, renders the
+                    # DEAD verdict -- miss_threshold consecutive probes.
+                    for _ in range(emonitor.miss_threshold):
+                        await emonitor.probe_once()
+                    record["state"] = arr.membership.state_of(node_id).value
+                elif kind == "drain":
+                    record["moved"] = await rebalancer.drain(str(op["node"]))
+                elif kind == "epoch_bump":
+                    record["epoch"] = arr.membership.bump()
+                elif kind == "rebalance":
+                    record["moved"] = await rebalancer.run_until_converged()
+                elif kind == "check_placement":
+                    # Quiescence for churn: routing has converged onto
+                    # placement, every holder is LIVE, and every strip
+                    # is durably CRC-clean on its node -- full
+                    # redundancy, zero misplaced stripes.
+                    mis = rebalancer.misplaced()
+                    if mis:
+                        raise DivergenceError(
+                            f"op[{i}] check_placement: stripes {mis} still "
+                            "misplaced after convergence",
+                            context={"op_index": i, "oracle": "placement",
+                                     "stripes": mis, "op": op},
+                        )
+                    pool = set(arr.membership.placement_pool())
+                    for s in range(arr.n_stripes):
+                        holders = arr.holders(s)
+                        off_pool = sorted(set(holders) - pool)
+                        if off_pool:
+                            raise DivergenceError(
+                                f"op[{i}] check_placement: stripe {s} routed "
+                                f"to non-live nodes {off_pool}",
+                                context={"op_index": i, "oracle": "placement",
+                                         "stripe": s, "nodes": off_pool,
+                                         "op": op},
+                            )
+                        for node_id in holders:
+                            reply, _ = await arr.client_for_node(
+                                node_id
+                            ).request("scrub-read", {"stripe": s})
+                            if not reply.get("match"):
+                                raise DivergenceError(
+                                    f"op[{i}] check_placement: stripe {s} "
+                                    f"strip on {node_id} fails its sidecar",
+                                    context={"op_index": i,
+                                             "oracle": "placement",
+                                             "stripe": s, "node": node_id,
+                                             "op": op},
+                                )
+                    record["epoch"] = arr.membership.epoch
+                    record["quiescent"] = True
                 elif kind == "recover":
                     recovered = await writer.recover()
                     record["rolled_forward"] = recovered["rolled_forward"]

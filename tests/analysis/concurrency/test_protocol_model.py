@@ -150,4 +150,5 @@ class TestLiveTree:
             __import__("repro.cluster.node", fromlist=["__file__"]).__file__
         ).read_text()
         assert tuple(extract_crash_points(src)) == NodeCrashPlan.POINTS
-        assert len(NodeCrashPlan.POINTS) == 6
+        # 6 2PC-write points + 4 migration points (migrate-in/release)
+        assert len(NodeCrashPlan.POINTS) == 10

@@ -107,3 +107,43 @@ class TestFaultSemantics:
             latency=0.5, fail_requests=3, drop_mid_frame=ALWAYS, corrupt_frames=1
         )
         assert NetworkFaultPlan.from_header(plan.to_header()) == plan
+
+
+class TestExhaustionCounters:
+    """A failure that survives the whole retry budget must be visible
+    as ``retries_exhausted`` (with a per-verb label), and a blown total
+    deadline as ``deadline_exceeded_<verb>`` -- the counters operators
+    alert on, as opposed to ``retries`` which also counts recoveries."""
+
+    def test_retries_exhausted_counts_per_verb(self):
+        data, back, counters = drill(3, 5, NetworkFaultPlan(drop_mid_frame=ALWAYS))
+        assert back == data  # degraded read still answers
+        assert counters["retries_exhausted"] > 0
+        assert counters["retries_exhausted_get"] > 0
+        assert counters["retries_exhausted"] >= counters["retries_exhausted_get"]
+
+    def test_transient_fault_does_not_count_as_exhausted(self):
+        _, _, counters = drill(3, 5, NetworkFaultPlan(fail_requests=1))
+        assert counters.get("retries_exhausted", 0) == 0
+
+    def test_deadline_exceeded_counts_per_verb(self):
+        async def run():
+            code, cluster = sim_cluster(k=3, p=5, n_stripes=2)
+            async with cluster:
+                # Total budget smaller than one sick attempt: the
+                # deadline, not the per-attempt timeout, fires first.
+                policy = RetryPolicy(
+                    attempts=3, timeout=0.3, backoff=0.01,
+                    max_backoff=0.02, deadline=0.2,
+                )
+                arr = cluster.array(policy=policy)
+                data = payload_for(arr, seed=5)
+                await arr.write(0, data)
+                cluster.nodes[0].faults = NetworkFaultPlan(latency=0.5)
+                back = await arr.read(0, arr.capacity)
+                return data, back, arr.metrics.snapshot()["counters"]
+
+        data, back, counters = asyncio.run(run())
+        assert back == data
+        assert counters["deadline_exceeded"] > 0
+        assert counters["deadline_exceeded_get"] > 0

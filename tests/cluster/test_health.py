@@ -65,6 +65,73 @@ class TestCircuitBreaker:
         assert br.state is BreakerState.CLOSED  # streak was broken
 
 
+class TestBreakerFlapGuard:
+    def make(self, clock, **kw):
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        br = CircuitBreaker(
+            clock, failure_threshold=1, reset_timeout=5.0,
+            min_open_interval=2.0, metrics=reg, **kw,
+        )
+        return br, reg
+
+    def test_success_inside_the_open_interval_is_ignored(self):
+        clock = Tick()
+        br, reg = self.make(clock)
+        br.record_failure()  # trips at t=0
+        assert br.state is BreakerState.OPEN
+        clock.now = 0.5
+        br.record_success()  # an out-of-band probe got lucky
+        assert br.state is BreakerState.OPEN  # guard holds the trip
+        assert reg.snapshot()["counters"]["breaker_flaps"] == 1
+
+    def test_alternating_outcomes_cannot_oscillate_the_breaker(self):
+        clock = Tick()
+        br, reg = self.make(clock)
+        br.record_failure()
+        for i in range(4):  # probe success / data failure, interleaved
+            clock.now = 0.2 * (i + 1)
+            br.record_success()
+            br.record_failure()
+        assert br.state is BreakerState.OPEN  # never flapped closed
+        assert reg.snapshot()["counters"]["breaker_flaps"] == 4
+
+    def test_success_after_the_interval_closes_normally(self):
+        clock = Tick()
+        br, reg = self.make(clock)
+        br.record_failure()
+        clock.now = 2.5  # past min_open_interval, inside reset_timeout
+        br.record_success()
+        assert br.state is BreakerState.CLOSED
+        assert "breaker_flaps" not in reg.snapshot()["counters"]
+
+    def test_guard_never_delays_the_half_open_trial(self):
+        clock = Tick()
+        br, _ = self.make(clock)
+        br.record_failure()
+        clock.now = 5.1  # reset_timeout elapsed
+        assert br.state is BreakerState.HALF_OPEN
+        br.record_success()
+        assert br.state is BreakerState.CLOSED
+
+    def test_reset_bypasses_the_guard(self):
+        clock = Tick()
+        br, reg = self.make(clock)
+        br.record_failure()
+        clock.now = 0.1
+        br.reset()  # node was genuinely replaced
+        assert br.state is BreakerState.CLOSED
+        assert "breaker_flaps" not in reg.snapshot()["counters"]
+
+    def test_default_interval_keeps_legacy_close_on_success(self):
+        clock = Tick()
+        br = CircuitBreaker(clock, failure_threshold=1, reset_timeout=5.0)
+        br.record_failure()
+        br.record_success()  # min_open_interval=0: historical behaviour
+        assert br.state is BreakerState.CLOSED
+
+
 class TestHealthMonitor:
     def test_probe_marks_failed_after_miss_threshold(self):
         async def run():

@@ -125,6 +125,65 @@ class TestOverloadContract:
         for kind, stats in report.latency.items():
             assert stats["p99"] <= bound, (kind, stats["p99"], bound)
 
+    def test_retry_after_hint_absent_before_any_observation(self):
+        async def main():
+            ac = AdmissionController(1, 0, clock=VirtualClock())
+            assert ac.retry_after_hint() is None
+            await ac.acquire()
+            with pytest.raises(Overloaded) as exc:
+                await ac.acquire()
+            assert exc.value.retry_after is None  # no basis to guess yet
+
+        run(main())
+
+    def test_retry_after_reflects_queue_depth_and_service_time(self):
+        async def main():
+            clock = VirtualClock()
+            ac = AdmissionController(2, 2, clock=clock)
+            # Feed the EWMA through the public seam.
+            ac.observe_service_time(0.1)
+            await ac.acquire()
+            await ac.acquire()
+            waiters = [asyncio.ensure_future(ac.acquire()) for _ in range(2)]
+            await asyncio.sleep(0)
+            with pytest.raises(Overloaded) as exc:
+                await ac.acquire()
+            # 2 queued + our slot, across 2 lanes at 0.1s each.
+            assert exc.value.retry_after == pytest.approx(3 * 0.1 / 2)
+            for w in waiters:
+                ac.release()
+            await asyncio.gather(*waiters)
+
+        run(main())
+
+    def test_slot_feeds_the_service_time_ewma(self):
+        async def main():
+            clock = VirtualClock()
+            ac = AdmissionController(1, 4, clock=clock)
+            async with ac.slot():
+                await clock.sleep(0.05)
+            assert ac.retry_after_hint() == pytest.approx(0.05)
+            # EWMA, not last-sample: a second, slower op moves it a step.
+            async with ac.slot():
+                await clock.sleep(0.15)
+            hint = ac.retry_after_hint()
+            assert 0.05 < hint < 0.15
+
+        run(main())
+
+    def test_timeout_shed_carries_the_hint_too(self):
+        async def main():
+            clock = VirtualClock()
+            ac = AdmissionController(1, 4, queue_timeout=0.02, clock=clock)
+            ac.observe_service_time(0.5)
+            await ac.acquire()
+            with pytest.raises(Overloaded) as exc:
+                await ac.acquire()  # queued, then aged out
+            assert exc.value.retry_after is not None
+            assert exc.value.retry_after > 0
+
+        run(main())
+
     def test_gentle_load_sheds_nothing(self):
         report = run_sim_bench(
             WorkloadConfig(seed=3, n_objects=6, object_size=256, n_ops=60,

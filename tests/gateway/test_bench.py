@@ -79,6 +79,33 @@ class TestSimDeterminism:
         d = rep.to_dict()
         assert d["config"]["seed"] == CFG.seed and d["digest"] == rep.digest
 
+    def test_report_carries_shed_accounting(self):
+        rep = run_sim_bench(CFG)
+        assert rep.retried == 0 and rep.shed_rate == 0.0
+        d = rep.to_dict()
+        assert d["retried"] == 0 and d["shed_rate"] == 0.0
+
+    def test_overload_honors_retry_after_and_reports_shed_rate(self):
+        """Satellite contract: a shed op with a ``retry_after`` hint
+        backs off once and retries before counting as shed; the digest
+        records the retry and the report carries the shed rate."""
+        report = run_sim_bench(
+            WorkloadConfig(seed=11, n_objects=8, object_size=512, n_ops=200,
+                           rate=5000.0),
+            n_stripes=48,
+            service_latency=0.002,
+            max_inflight=2,
+            max_queue=8,
+            queue_timeout=0.05,
+        )
+        assert report.shed > 0
+        assert report.retried > 0, "hints were available; ops must retry"
+        assert report.shed_rate == pytest.approx(
+            report.shed / (report.ok + report.shed + report.errors)
+        )
+        assert 0.0 < report.shed_rate < 1.0
+        assert report.to_dict()["shed_rate"] == round(report.shed_rate, 6)
+
     def test_virtual_time_costs_no_wall_time(self):
         # 80 ops at 4000/s is 20ms of virtual time; the run must not
         # actually sleep it (smoke: just completes fast under pytest).

@@ -52,6 +52,11 @@ class TestCleanStack:
         assert [n for n, _ in seen] == [1, 2, 3, 4, 5, 6]
         assert all(kind == "stripe" for _, kind in seen)
 
+    def test_membership_fuzz_is_clean_on_the_real_stack(self):
+        # Every 4th-ish scenario slot becomes a churn campaign; a full
+        # pass means each converged with zero misplaced stripes.
+        assert fuzz(seed=100, max_cases=10, membership=True, shrink=False) is None
+
     def test_time_budget_terminates(self):
         t0 = time.monotonic()
         assert fuzz(seed=0, time_budget=1.0, scenarios=False) is None

@@ -275,6 +275,58 @@ class TestServeAndStats:
         assert "unreachable" in capsys.readouterr().out
 
 
+@pytest.mark.slow
+class TestClusterMembershipCli:
+    """``repro cluster status/join/drain`` against a live node: the
+    node is just a durable table store, so one server exercises the
+    whole verb surface including the bad-request path."""
+
+    def serve_in_thread(self, tmp_path):
+        import threading
+        import time
+
+        port_file = tmp_path / "port"
+        argv = ["serve", "--column", "0", "--stripes", "4", "--k", "3",
+                "--p", "5", "--element-size", "64", "--port", "0",
+                "--port-file", str(port_file)]
+        thread = threading.Thread(target=main, args=(argv,), daemon=True)
+        thread.start()
+        deadline = time.time() + 10
+        while not port_file.exists():
+            assert time.time() < deadline, "serve never bound its port"
+            assert thread.is_alive(), "serve exited before binding"
+            time.sleep(0.01)
+        return thread, int(port_file.read_text())
+
+    def test_status_join_drain_round_trip(self, tmp_path, capsys):
+        thread, port = self.serve_in_thread(tmp_path)
+        addr = f"127.0.0.1:{port}"
+
+        assert main(["cluster", "status", addr]) == 0
+        assert "epoch 0: no nodes recorded" in capsys.readouterr().out
+
+        assert main(["cluster", "join", addr, "n7", "127.0.0.1:9999",
+                     "--live"]) == 0
+        out = capsys.readouterr().out
+        assert "epoch 1" in out and "n7" in out and "live" in out
+
+        assert main(["cluster", "drain", addr, "n7"]) == 0
+        out = capsys.readouterr().out
+        assert "epoch 2" in out and "draining" in out
+
+        # Illegal mutation: validated table, typed error, exit 1.
+        assert main(["cluster", "drain", addr, "ghost"]) == 1
+        assert "unknown node" in capsys.readouterr().out
+
+        # The table survived the failed mutation.
+        assert main(["cluster", "status", addr]) == 0
+        assert "epoch 2" in capsys.readouterr().out
+
+        assert main(["stats", addr, "--shutdown"]) == 0
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+
+
 class TestRoundTripProperty:
     def test_random_sizes_and_losses(self, tmp_path):
         """Fuzz: arbitrary file sizes (incl. empty-ish and unaligned),
@@ -367,3 +419,12 @@ class TestGatewayBench:
     def test_fuzz_objects_flag_is_wired(self, capsys):
         assert main(["sim", "fuzz", "--cases", "2", "--objects"]) == 0
         assert "clean" in capsys.readouterr().out
+
+    def test_fuzz_membership_flag_is_wired(self, capsys):
+        assert main(["sim", "fuzz", "--cases", "8", "--membership"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_sim_run_membership_reports_node_count(self, capsys):
+        assert main(["sim", "run", "--seed", "5", "--membership"]) == 0
+        out = capsys.readouterr().out
+        assert "nodes=" in out and "digest" in out
